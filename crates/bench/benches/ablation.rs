@@ -1,0 +1,59 @@
+//! Ablation benches for the design choices called out in DESIGN.md §6:
+//! paper vs canonical vs orbit enumerators, and intra- vs
+//! inter-procedural granularity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spe_combinatorics::{
+    canonical_solutions, orbit_solutions, paper_solutions, FlatInstance, FlatScope,
+};
+use spe_core::{spe_count, Granularity, Skeleton};
+
+fn scoped_instance() -> FlatInstance {
+    FlatInstance::new(
+        vec![0, 1, 2, 3],
+        3,
+        vec![
+            FlatScope { holes: vec![4, 5, 6], vars: 2 },
+            FlatScope { holes: vec![7, 8], vars: 1 },
+        ],
+    )
+}
+
+fn bench_enumerator_variants(c: &mut Criterion) {
+    let inst = scoped_instance();
+    let general = inst.to_general();
+    let mut group = c.benchmark_group("scoped_enumerators");
+    group.sample_size(20);
+    group.bench_function("paper", |b| {
+        b.iter(|| paper_solutions(&inst, usize::MAX).0.len())
+    });
+    group.bench_function("canonical", |b| {
+        b.iter(|| canonical_solutions(&general, usize::MAX).0.len())
+    });
+    group.bench_function("orbit", |b| {
+        b.iter(|| orbit_solutions(&inst, usize::MAX).0.len())
+    });
+    group.finish();
+}
+
+fn bench_granularity(c: &mut Criterion) {
+    let src = r#"
+        int g1, g2;
+        void f1() { int x = 0; g1 = x + g2; }
+        void f2() { int y = 0; g2 = y - g1; }
+        void f3() { g1 = g2; g2 = g1; }
+    "#;
+    let sk = Skeleton::from_source(src).expect("builds");
+    let mut group = c.benchmark_group("granularity");
+    group.sample_size(30);
+    group.bench_function("intra_count", |b| {
+        b.iter(|| spe_count(&sk, Granularity::Intra))
+    });
+    group.bench_function("inter_count", |b| {
+        b.iter(|| spe_count(&sk, Granularity::Inter))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumerator_variants, bench_granularity);
+criterion_main!(benches);

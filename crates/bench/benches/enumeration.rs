@@ -1,0 +1,83 @@
+//! Benchmarks for Table 1's core comparison: combinatorial SPE vs naive
+//! enumeration of skeleton variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spe_core::{Algorithm, Enumerator, EnumeratorConfig, Granularity, Skeleton};
+use std::ops::ControlFlow;
+
+const FIGURE_1: &str =
+    "int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }";
+const FIGURE_6: &str = r#"
+    int main() {
+        int a = 1, b = 0;
+        if (a) {
+            int c = 3, d = 5;
+            b = c + d;
+        }
+        printf("%d", a);
+        printf("%d", b);
+        return 0;
+    }
+"#;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(20);
+    for (name, src) in [("figure1", FIGURE_1), ("figure6", FIGURE_6)] {
+        let sk = Skeleton::from_source(src).expect("builds");
+        for algorithm in [Algorithm::Paper, Algorithm::Naive] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{algorithm:?}"), name),
+                &sk,
+                |b, sk| {
+                    let e = Enumerator::new(EnumeratorConfig {
+                        algorithm,
+                        granularity: Granularity::Intra,
+                        budget: 10_000,
+                    });
+                    b.iter(|| {
+                        let mut n = 0u64;
+                        e.enumerate(sk, &mut |_| {
+                            n += 1;
+                            ControlFlow::Continue(())
+                        });
+                        n
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting");
+    group.sample_size(30);
+    let files = spe_corpus::generate(&spe_corpus::CorpusConfig { files: 50, seed: 42 });
+    group.bench_function("spe_count_corpus_50", |b| {
+        b.iter(|| {
+            let mut total = spe_bignum::BigUint::zero();
+            for f in &files {
+                if let Ok(sk) = Skeleton::from_source(&f.source) {
+                    total += &spe_core::spe_count(&sk, Granularity::Intra);
+                }
+            }
+            total
+        });
+    });
+    group.bench_function("naive_count_corpus_50", |b| {
+        b.iter(|| {
+            let mut total = spe_bignum::BigUint::zero();
+            for f in &files {
+                if let Ok(sk) = Skeleton::from_source(&f.source) {
+                    total += &spe_core::naive_count(&sk, Granularity::Intra);
+                }
+            }
+            total
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_counting);
+criterion_main!(benches);

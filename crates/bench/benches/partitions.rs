@@ -1,0 +1,60 @@
+//! Benchmarks for the combinatorial substrate: RGS generation, Stirling
+//! counting and the scoped partition algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spe_combinatorics::{
+    paper_count, paper_solutions, partitions_at_most, FlatInstance, FlatScope, Rgs,
+};
+
+fn bench_rgs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rgs");
+    group.sample_size(30);
+    for (n, k) in [(10usize, 3usize), (12, 4), (14, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_k{k}")),
+            &(n, k),
+            |b, &(n, k)| b.iter(|| Rgs::new(n, k).count()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_stirling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stirling");
+    group.sample_size(50);
+    group.bench_function("partitions_at_most_200_10", |b| {
+        b.iter(|| partitions_at_most(200, 10))
+    });
+    group.bench_function("paper_count_large_flat", |b| {
+        let inst = FlatInstance::new(
+            (0..40).collect(),
+            5,
+            vec![
+                FlatScope { holes: (40..50).collect(), vars: 3 },
+                FlatScope { holes: (50..60).collect(), vars: 2 },
+            ],
+        );
+        b.iter(|| paper_count(&inst))
+    });
+    group.finish();
+}
+
+fn bench_scoped_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoped_enumeration");
+    group.sample_size(20);
+    let inst = FlatInstance::new(
+        vec![0, 1, 2, 3],
+        3,
+        vec![
+            FlatScope { holes: vec![4, 5, 6], vars: 2 },
+            FlatScope { holes: vec![7, 8], vars: 2 },
+        ],
+    );
+    group.bench_function("paper_solutions", |b| {
+        b.iter(|| paper_solutions(&inst, usize::MAX).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rgs, bench_stirling, bench_scoped_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Benchmarks for the compiler-under-test pipeline and the differential
+//! harness hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spe_simcc::{interp, Compiler, CompilerId};
+
+const PROGRAM: &str = r#"
+    int g = 3;
+    int square(int x) { return x * x; }
+    int main() {
+        int s = 0;
+        for (int i = 0; i < 20; i++) {
+            if (i % 2) s += square(i) - g;
+            else s += i;
+        }
+        return s;
+    }
+"#;
+
+fn bench_compile(c: &mut Criterion) {
+    let p = spe_minic::parse(PROGRAM).expect("parses");
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(50);
+    for opt in [0u8, 3] {
+        let cc = Compiler::new(CompilerId::gcc(440), opt);
+        group.bench_function(format!("compile_O{opt}"), |b| {
+            b.iter(|| cc.compile(&p).expect("compiles"))
+        });
+    }
+    let cc = Compiler::new(CompilerId::gcc(440), 3);
+    let compiled = cc.compile(&p).expect("compiles");
+    group.bench_function("vm_execute", |b| {
+        b.iter(|| compiled.execute(1_000_000).expect("runs"))
+    });
+    group.bench_function("reference_interpret", |b| {
+        b.iter(|| interp::run(&p, interp::Limits::default()).expect("runs"))
+    });
+    group.bench_function("parse", |b| {
+        b.iter(|| spe_minic::parse(PROGRAM).expect("parses"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for SPE (bench targets live in benches/).

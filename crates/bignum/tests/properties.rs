@@ -1,0 +1,74 @@
+//! Property-based tests checking `BigUint` arithmetic against `u128`.
+
+use proptest::prelude::*;
+use spe_bignum::BigUint;
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        let big = &BigUint::from(a) + &BigUint::from(b);
+        prop_assert_eq!(big.to_u128(), Some(a + b));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let big = &BigUint::from(a) * &BigUint::from(b);
+        prop_assert_eq!(big.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let big = &BigUint::from(hi) - &BigUint::from(lo);
+        prop_assert_eq!(big.to_u128(), Some(hi - lo));
+    }
+
+    #[test]
+    fn divmod_matches_u128(a in 0u128..u128::MAX, w in 1u64..u64::MAX) {
+        let (q, r) = BigUint::from(a).divmod_word(w);
+        prop_assert_eq!(q.to_u128(), Some(a / w as u128));
+        prop_assert_eq!(r as u128, a % w as u128);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in 0u128..u128::MAX) {
+        let big = BigUint::from(a);
+        let back: BigUint = big.to_string().parse().expect("display output parses");
+        prop_assert_eq!(back, big);
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+        prop_assert_eq!(BigUint::from(a).cmp(&BigUint::from(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn pow_matches_checked_u128(base in 0u64..40u64, exp in 0u32..20u32) {
+        if let Some(expect) = (base as u128).checked_pow(exp) {
+            prop_assert_eq!(BigUint::from(base).pow(exp).to_u128(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn log10_within_one_digit(a in 1u128..u128::MAX) {
+        let big = BigUint::from(a);
+        let digits = big.to_string().len() as f64;
+        let l = big.log10();
+        prop_assert!(l >= digits - 1.0 - 1e-9 && l < digits + 1e-9,
+            "log10 {} vs digits {}", l, digits);
+    }
+
+    #[test]
+    fn add_is_commutative(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        prop_assert_eq!(
+            &BigUint::from(a) + &BigUint::from(b),
+            &BigUint::from(b) + &BigUint::from(a)
+        );
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64, c in 0u64..u32::MAX as u64) {
+        let (a, b, c) = (BigUint::from(a), BigUint::from(b), BigUint::from(c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+}

@@ -1,0 +1,214 @@
+//! Brute-force oracles used to validate the fast enumerators.
+//!
+//! These walk the full naive Cartesian product of fillings (§3.1) and
+//! group them by canonical forms; they are exponential and intended for
+//! the small instances used in tests and for the paper-vs-naive
+//! comparisons of the evaluation.
+
+use crate::instance::{FlatInstance, GeneralInstance, PoolRef};
+use crate::labels_to_rgs;
+use std::collections::HashSet;
+
+/// Iterator over every filling of the instance's holes: item `i` of each
+/// yielded vector is the variable id filling hole `i`.
+///
+/// # Examples
+///
+/// ```
+/// use spe_combinatorics::{Fillings, GeneralInstance};
+///
+/// let inst = GeneralInstance { allowed: vec![vec![0, 1], vec![0, 1]], num_vars: 2 };
+/// assert_eq!(Fillings::new(&inst).count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fillings<'a> {
+    inst: &'a GeneralInstance,
+    cursor: Vec<usize>,
+    done: bool,
+}
+
+impl<'a> Fillings<'a> {
+    /// Creates the iterator; instances with an empty allowed set yield
+    /// nothing.
+    pub fn new(inst: &'a GeneralInstance) -> Self {
+        let done = inst.allowed.iter().any(|a| a.is_empty());
+        Fillings {
+            inst,
+            cursor: vec![0; inst.allowed.len()],
+            done,
+        }
+    }
+}
+
+impl Iterator for Fillings<'_> {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let item: Vec<usize> = self
+            .cursor
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| self.inst.allowed[i][c])
+            .collect();
+        // Odometer increment.
+        let mut i = self.cursor.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            if self.cursor[i] + 1 < self.inst.allowed[i].len() {
+                self.cursor[i] += 1;
+                for j in i + 1..self.cursor.len() {
+                    self.cursor[j] = 0;
+                }
+                break;
+            }
+        }
+        Some(item)
+    }
+}
+
+/// Number of distinct *partitions* induced by all fillings: the oracle for
+/// [`crate::canonical_count`].
+///
+/// ```
+/// use spe_combinatorics::{brute, FlatInstance};
+/// let inst = FlatInstance::unscoped(4, 4).to_general();
+/// assert_eq!(brute::count_distinct_partitions(&inst), 15); // Bell(4)
+/// ```
+pub fn count_distinct_partitions(inst: &GeneralInstance) -> usize {
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    for filling in Fillings::new(inst) {
+        seen.insert(labels_to_rgs(&filling));
+    }
+    seen.len()
+}
+
+/// Number of compact-α-renaming orbits of all fillings: the oracle for
+/// [`crate::orbit_count`]. Two fillings are identified iff one maps to the
+/// other under a permutation of each variable pool.
+///
+/// The canonical form renames each pool's variables in order of first
+/// occurrence in the filling, so equal canonical forms ⟺ same orbit.
+pub fn count_compact_orbits(inst: &FlatInstance) -> usize {
+    let general = inst.to_general();
+    let mut seen: HashSet<Vec<(usize, usize)>> = HashSet::new();
+    for filling in Fillings::new(&general) {
+        seen.insert(compact_canonical_form(inst, &filling));
+    }
+    seen.len()
+}
+
+/// The per-pool first-occurrence canonical form of a filling: each
+/// variable becomes `(pool index, rank of first occurrence within pool)`.
+pub fn compact_canonical_form(inst: &FlatInstance, filling: &[usize]) -> Vec<(usize, usize)> {
+    let mut rank: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut next_in_pool: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(filling.len());
+    for &v in filling {
+        let pool = match inst.pool_of_var(v) {
+            PoolRef::Global => 0usize,
+            PoolRef::Local(s) => s + 1,
+        };
+        let r = *rank.entry(v).or_insert_with(|| {
+            let counter = next_in_pool.entry(pool).or_insert(0);
+            let r = *counter;
+            *counter += 1;
+            r
+        });
+        out.push((pool, r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::FlatScope;
+
+    #[test]
+    fn fillings_enumerate_full_product() {
+        let inst = GeneralInstance {
+            allowed: vec![vec![0, 1], vec![0, 1, 2], vec![1]],
+            num_vars: 3,
+        };
+        let all: Vec<_> = Fillings::new(&inst).collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0, 1]);
+        assert_eq!(all[5], vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn fillings_with_empty_allowed_set() {
+        let inst = GeneralInstance {
+            allowed: vec![vec![0], vec![]],
+            num_vars: 1,
+        };
+        assert_eq!(Fillings::new(&inst).count(), 0);
+    }
+
+    #[test]
+    fn fillings_zero_holes() {
+        let inst = GeneralInstance {
+            allowed: vec![],
+            num_vars: 3,
+        };
+        assert_eq!(Fillings::new(&inst).count(), 1);
+    }
+
+    #[test]
+    fn fig7_brute_counts() {
+        let inst = FlatInstance::new(
+            vec![0, 1, 4],
+            2,
+            vec![FlatScope {
+                holes: vec![2, 3],
+                vars: 2,
+            }],
+        );
+        let general = inst.to_general();
+        assert_eq!(Fillings::new(&general).count(), 128);
+        assert_eq!(count_distinct_partitions(&general), 35);
+        assert_eq!(count_compact_orbits(&inst), 40);
+    }
+
+    #[test]
+    fn canonical_form_identifies_pool_swaps() {
+        let inst = FlatInstance::new(
+            vec![0, 1],
+            2,
+            vec![FlatScope {
+                holes: vec![2],
+                vars: 2,
+            }],
+        );
+        // ⟨g0, g1, l0⟩ and ⟨g1, g0, l1⟩ are the same orbit.
+        let a = compact_canonical_form(&inst, &[0, 1, 2]);
+        let b = compact_canonical_form(&inst, &[1, 0, 3]);
+        assert_eq!(a, b);
+        // ⟨g0, g0, l0⟩ differs.
+        let c = compact_canonical_form(&inst, &[0, 0, 2]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn canonical_form_distinguishes_pools() {
+        let inst = FlatInstance::new(
+            vec![],
+            1,
+            vec![FlatScope {
+                holes: vec![0],
+                vars: 1,
+            }],
+        );
+        // Global variable 0 vs local variable 1 are different orbits.
+        let a = compact_canonical_form(&inst, &[0]);
+        let b = compact_canonical_form(&inst, &[1]);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,141 @@
+//! Lexicographic combination generation — the paper's `COMBINATIONS(Q, k)`.
+
+/// Iterator over all `k`-element subsets of `{0, 1, …, n-1}` in
+/// lexicographic order.
+///
+/// # Examples
+///
+/// ```
+/// use spe_combinatorics::Combinations;
+///
+/// let all: Vec<_> = Combinations::new(4, 2).collect();
+/// assert_eq!(all, vec![
+///     vec![0, 1], vec![0, 2], vec![0, 3],
+///     vec![1, 2], vec![1, 3], vec![2, 3],
+/// ]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Combinations {
+    indices: Vec<usize>,
+    n: usize,
+    started: bool,
+    done: bool,
+}
+
+impl Combinations {
+    /// Creates the iterator; `k > n` yields nothing, `k == 0` yields one
+    /// empty subset.
+    pub fn new(n: usize, k: usize) -> Self {
+        Combinations {
+            indices: (0..k).collect(),
+            n,
+            started: false,
+            done: k > n,
+        }
+    }
+}
+
+impl Iterator for Combinations {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(self.indices.clone());
+        }
+        let k = self.indices.len();
+        if k == 0 {
+            self.done = true;
+            return None;
+        }
+        // Find the rightmost index that can advance.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                self.done = true;
+                return None;
+            }
+            i -= 1;
+            if self.indices[i] < self.n - (k - i) {
+                self.indices[i] += 1;
+                for j in i + 1..k {
+                    self.indices[j] = self.indices[j - 1] + 1;
+                }
+                return Some(self.indices.clone());
+            }
+        }
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as `u128`; saturates on overflow.
+///
+/// ```
+/// assert_eq!(spe_combinatorics::binomial(5, 2), 10);
+/// assert_eq!(spe_combinatorics::binomial(5, 6), 0);
+/// ```
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul((n - i) as u128) {
+            Some(v) => v / (i + 1) as u128,
+            None => return u128::MAX,
+        };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_binomial() {
+        for n in 0..8usize {
+            for k in 0..=n {
+                assert_eq!(
+                    Combinations::new(n, k).count() as u128,
+                    binomial(n as u64, k as u64),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_subset() {
+        let all: Vec<_> = Combinations::new(3, 0).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn oversized_subset() {
+        assert_eq!(Combinations::new(2, 3).count(), 0);
+    }
+
+    #[test]
+    fn lexicographic_and_sorted() {
+        let all: Vec<_> = Combinations::new(6, 3).collect();
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for c in &all {
+            let mut sorted = c.clone();
+            sorted.sort_unstable();
+            assert_eq!(&sorted, c);
+        }
+    }
+
+    #[test]
+    fn binomial_large_values() {
+        assert_eq!(binomial(60, 30), 118264581564861424);
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the SPE combinatorics invariants.
+
+use proptest::prelude::*;
+use spe_bignum::BigUint;
+use spe_combinatorics::{
+    brute, canonical_count, labels_to_rgs, orbit_count, paper_count, paper_solutions,
+    partitions_at_most, rgs_block_count, FlatInstance, FlatScope, Rgs,
+};
+
+/// Strategy: a small flat instance (global holes/vars plus up to two
+/// scopes) whose naive product stays brute-forceable.
+fn small_instance() -> impl Strategy<Value = FlatInstance> {
+    (
+        0usize..4,  // global holes
+        1usize..4,  // global vars
+        proptest::collection::vec((1usize..3, 1usize..3), 0..3),
+    )
+        .prop_map(|(g, kg, scopes)| {
+            let mut next = g;
+            let scopes = scopes
+                .into_iter()
+                .map(|(holes, vars)| {
+                    let hs = (next..next + holes).collect();
+                    next += holes;
+                    FlatScope { holes: hs, vars }
+                })
+                .collect();
+            FlatInstance::new((0..g).collect(), kg, scopes)
+        })
+        .prop_filter("keep the naive product brute-forceable", |inst| {
+            inst.naive_count() <= BigUint::from(4000u64)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rgs_count_matches_stirling_sum(n in 0usize..8, k in 1usize..6) {
+        prop_assert_eq!(
+            BigUint::from(Rgs::new(n, k).count()),
+            partitions_at_most(n as u32, k as u32)
+        );
+    }
+
+    #[test]
+    fn rgs_canonicalization_is_idempotent(labels in proptest::collection::vec(0usize..5, 0..12)) {
+        let rgs = labels_to_rgs(&labels);
+        prop_assert_eq!(labels_to_rgs(&rgs), rgs.clone());
+        // And it is a valid restricted growth string.
+        let mut max_seen: Option<usize> = None;
+        for &v in &rgs {
+            match max_seen {
+                None => prop_assert_eq!(v, 0),
+                Some(m) => prop_assert!(v <= m + 1),
+            }
+            max_seen = Some(max_seen.map_or(v, |m| m.max(v)));
+        }
+        let _ = rgs_block_count(&rgs);
+    }
+
+    #[test]
+    fn canonical_count_matches_brute_force(inst in small_instance()) {
+        let general = inst.to_general();
+        prop_assert_eq!(
+            canonical_count(&general).to_u64().expect("small"),
+            brute::count_distinct_partitions(&general) as u64
+        );
+    }
+
+    #[test]
+    fn orbit_count_matches_brute_force(inst in small_instance()) {
+        prop_assert_eq!(
+            orbit_count(&inst).to_u64().expect("small"),
+            brute::count_compact_orbits(&inst) as u64
+        );
+    }
+
+    #[test]
+    fn algorithm_counts_are_ordered(inst in small_instance()) {
+        // Provable orderings: canonical <= orbit <= naive (partitions,
+        // orbits and fillings form a refinement chain) and paper <= orbit
+        // (the paper's solutions are (partition, pool) pairs, a subset of
+        // the orbit representatives). canonical and paper are
+        // *incomparable* in general: Example 6 has paper 36 > canonical
+        // 35, while small-global-pool instances drop valid partitions
+        // (see DESIGN.md §2).
+        let c = canonical_count(&inst.to_general());
+        let p = paper_count(&inst);
+        let o = orbit_count(&inst);
+        let n = inst.naive_count();
+        prop_assert!(c <= o, "canonical {c:?} <= orbit {o:?}");
+        prop_assert!(o <= n, "orbit {o:?} <= naive {n:?}");
+        prop_assert!(p <= o, "paper {p:?} <= orbit {o:?}");
+    }
+
+    #[test]
+    fn paper_enumeration_matches_paper_count(inst in small_instance()) {
+        let (sols, truncated) = paper_solutions(&inst, 100_000);
+        prop_assert!(!truncated);
+        prop_assert_eq!(BigUint::from(sols.len()), paper_count(&inst));
+    }
+
+    #[test]
+    fn paper_solutions_cover_each_hole_once(inst in small_instance()) {
+        let n = inst.num_holes();
+        let (sols, _) = paper_solutions(&inst, 20_000);
+        for s in sols {
+            let mut seen = vec![false; n];
+            for b in &s.blocks {
+                for &h in b {
+                    prop_assert!(!seen[h], "hole {h} twice");
+                    seen[h] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&x| x));
+        }
+    }
+
+    #[test]
+    fn single_scope_instances_agree_on_all_semantics(n in 0usize..7, k in 1usize..6) {
+        let inst = FlatInstance::unscoped(n, k);
+        let c = canonical_count(&inst.to_general());
+        let p = paper_count(&inst);
+        let o = orbit_count(&inst);
+        prop_assert_eq!(&c, &p);
+        prop_assert_eq!(&c, &o);
+        prop_assert_eq!(c, partitions_at_most(n as u32, k as u32));
+    }
+}

@@ -1,0 +1,542 @@
+//! Skeletal program enumeration — the core public API.
+//!
+//! This crate is the paper's primary contribution as a library: given a
+//! program, enumerate (or count) all non-α-equivalent variable-usage
+//! variants of its skeleton.
+//!
+//! * [`Enumerator`] drives enumeration over a [`Skeleton`] with a chosen
+//!   [`Algorithm`], [`Granularity`] and per-skeleton variant budget (the
+//!   paper uses a 10,000-variant threshold in §5.2.1);
+//! * [`spe_count`] / [`naive_count`] are the closed-form counting
+//!   counterparts used for the search-space-reduction results (Table 1);
+//! * [`Variant`]s carry the use-site rename map and realize to compilable
+//!   source on demand.
+//!
+//! # Quick start
+//!
+//! ```
+//! use spe_core::{Enumerator, EnumeratorConfig, Algorithm, Granularity, Skeleton};
+//!
+//! let sk = Skeleton::from_source(
+//!     "int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }",
+//! )?;
+//! // Figure 1: 2^7 = 128 naive fillings, 64 non-α-equivalent.
+//! assert_eq!(spe_core::naive_count(&sk, Granularity::Intra).to_u64(), Some(128));
+//! assert_eq!(spe_core::spe_count(&sk, Granularity::Intra).to_u64(), Some(64));
+//!
+//! let e = Enumerator::new(EnumeratorConfig::default());
+//! let variants = e.collect_sources(&sk);
+//! assert_eq!(variants.len(), 64);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use spe_bignum::BigUint;
+use spe_combinatorics::{
+    canonical_solutions, orbit_solutions, paper_solutions, Fillings,
+};
+use spe_minic::ast::OccId;
+pub use spe_skeleton::{Granularity, Skeleton, SkeletonError, TypeGroup, Unit};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// Which enumeration semantics to use. See `DESIGN.md` §2 for the
+/// relationship between the three non-naive variants (on the paper's
+/// Example 6 they produce 36, 35 and 40 solutions respectively; they all
+/// coincide with Bell-number enumeration when every variable is global).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Algorithm 1 + `PartitionScope`, verbatim from the paper. Used for
+    /// all experiment reproductions.
+    #[default]
+    Paper,
+    /// One representative per *valid partition* — duplicate-free and
+    /// exhaustive w.r.t. dependence structure.
+    Canonical,
+    /// One representative per strict compact-α-renaming class.
+    Orbit,
+    /// The full Cartesian product of fillings (§3.1) — the baseline.
+    Naive,
+}
+
+/// Enumerator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumeratorConfig {
+    /// Enumeration semantics.
+    pub algorithm: Algorithm,
+    /// Intra- or inter-procedural units (§4.3).
+    pub granularity: Granularity,
+    /// Maximum number of variants emitted per skeleton; the paper's
+    /// threshold is 10,000.
+    pub budget: usize,
+}
+
+impl Default for EnumeratorConfig {
+    fn default() -> Self {
+        EnumeratorConfig {
+            algorithm: Algorithm::Paper,
+            granularity: Granularity::Intra,
+            budget: 10_000,
+        }
+    }
+}
+
+/// One enumerated variant: a use-site renaming of the skeleton.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Sequential index in emission order.
+    pub index: u64,
+    /// The use-site rename map (merged across all units and type groups).
+    pub rename: HashMap<OccId, String>,
+}
+
+impl Variant {
+    /// Realizes the variant as source text.
+    pub fn source(&self, sk: &Skeleton) -> String {
+        sk.realize(&self.rename)
+    }
+}
+
+/// Outcome of an enumeration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationOutcome {
+    /// Variants emitted.
+    pub emitted: u64,
+    /// Whether the budget cut the enumeration short.
+    pub truncated: bool,
+}
+
+/// The SPE enumerator.
+#[derive(Debug, Clone, Default)]
+pub struct Enumerator {
+    config: EnumeratorConfig,
+}
+
+impl Enumerator {
+    /// Creates an enumerator with the given configuration.
+    pub fn new(config: EnumeratorConfig) -> Enumerator {
+        Enumerator { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EnumeratorConfig {
+        &self.config
+    }
+
+    /// Enumerates variants of `sk`, calling `visit` for each until the
+    /// budget is reached or the visitor breaks.
+    pub fn enumerate<F>(&self, sk: &Skeleton, visit: &mut F) -> EnumerationOutcome
+    where
+        F: FnMut(&Variant) -> ControlFlow<()>,
+    {
+        let units = sk.units(self.config.granularity);
+        let groups: Vec<&TypeGroup> = units.iter().flat_map(|u| u.groups.iter()).collect();
+        // Materialize per-group rename fragments, each capped by the
+        // budget (if a single group exceeds it, the product does too).
+        let mut truncated = false;
+        let mut fragments: Vec<Vec<HashMap<OccId, String>>> = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let (frags, t) = self.group_fragments(sk, g);
+            truncated |= t;
+            if frags.is_empty() {
+                // A group with zero solutions never happens for
+                // well-formed skeletons (each hole's original variable is
+                // allowed), but guard anyway.
+                return EnumerationOutcome {
+                    emitted: 0,
+                    truncated,
+                };
+            }
+            fragments.push(frags);
+        }
+        // Odometer over the Cartesian product.
+        let mut emitted = 0u64;
+        let mut cursor = vec![0usize; fragments.len()];
+        loop {
+            if emitted as usize >= self.config.budget {
+                truncated = true;
+                break;
+            }
+            let mut rename = HashMap::new();
+            for (g, &c) in fragments.iter().zip(&cursor) {
+                for (k, v) in &g[c] {
+                    rename.insert(*k, v.clone());
+                }
+            }
+            let variant = Variant {
+                index: emitted,
+                rename,
+            };
+            emitted += 1;
+            if visit(&variant).is_break() {
+                return EnumerationOutcome {
+                    emitted,
+                    truncated: true,
+                };
+            }
+            // Advance the odometer.
+            let mut i = fragments.len();
+            loop {
+                if i == 0 {
+                    return EnumerationOutcome { emitted, truncated };
+                }
+                i -= 1;
+                cursor[i] += 1;
+                if cursor[i] < fragments[i].len() {
+                    break;
+                }
+                cursor[i] = 0;
+            }
+        }
+        EnumerationOutcome { emitted, truncated }
+    }
+
+    fn group_fragments(
+        &self,
+        sk: &Skeleton,
+        g: &TypeGroup,
+    ) -> (Vec<HashMap<OccId, String>>, bool) {
+        let budget = self.config.budget;
+        match self.config.algorithm {
+            Algorithm::Paper => {
+                let (sols, truncated) = paper_solutions(&g.flat, budget);
+                (
+                    sols.iter().map(|s| sk.rename_for_solution(g, s)).collect(),
+                    truncated,
+                )
+            }
+            Algorithm::Orbit => {
+                let (sols, truncated) = orbit_solutions(&g.flat, budget);
+                (
+                    sols.iter().map(|s| sk.rename_for_solution(g, s)).collect(),
+                    truncated,
+                )
+            }
+            Algorithm::Canonical => {
+                let (rgss, truncated) = canonical_solutions(&g.general, budget);
+                (
+                    rgss.iter()
+                        .filter_map(|r| sk.rename_for_rgs(g, r))
+                        .collect(),
+                    truncated,
+                )
+            }
+            Algorithm::Naive => {
+                let mut out = Vec::new();
+                let mut truncated = false;
+                for filling in Fillings::new(&g.general) {
+                    if out.len() >= budget {
+                        truncated = true;
+                        break;
+                    }
+                    let mut rename = HashMap::new();
+                    for (pos, &var_idx) in filling.iter().enumerate() {
+                        let var = g.vars[var_idx];
+                        let hole = &sk.holes()[g.holes[pos]];
+                        rename.insert(hole.occ, sk.table().var(var).name.clone());
+                    }
+                    out.push(rename);
+                }
+                (out, truncated)
+            }
+        }
+    }
+
+    /// Convenience: collects realized variant sources (within budget).
+    pub fn collect_sources(&self, sk: &Skeleton) -> Vec<String> {
+        let mut out = Vec::new();
+        self.enumerate(sk, &mut |v| {
+            out.push(v.source(sk));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+}
+
+/// Closed-form count of the paper's enumeration for a whole skeleton: the
+/// product of `paper_count` over all units and type groups.
+///
+/// ```
+/// use spe_core::{spe_count, Granularity, Skeleton};
+/// let sk = Skeleton::from_source("int a, b; void f() { a = b; b = a; a = a; }").unwrap();
+/// // 6 holes over 2 global variables: {6 1} + {6 2} = 32.
+/// assert_eq!(spe_count(&sk, Granularity::Intra).to_u64(), Some(32));
+/// ```
+pub fn spe_count(sk: &Skeleton, granularity: Granularity) -> BigUint {
+    let mut acc = BigUint::one();
+    for u in sk.units(granularity) {
+        for g in &u.groups {
+            acc *= &spe_combinatorics::paper_count(&g.flat);
+        }
+    }
+    acc
+}
+
+/// Closed-form count of the naive enumeration (§3.1): `∏_i |v_i|` over all
+/// holes.
+///
+/// ```
+/// use spe_core::{naive_count, Granularity, Skeleton};
+/// let sk = Skeleton::from_source("int a, b; void f() { a = b; }").unwrap();
+/// assert_eq!(naive_count(&sk, Granularity::Intra).to_u64(), Some(4));
+/// ```
+pub fn naive_count(sk: &Skeleton, granularity: Granularity) -> BigUint {
+    let mut acc = BigUint::one();
+    for u in sk.units(granularity) {
+        for g in &u.groups {
+            acc *= &g.general.naive_count();
+        }
+    }
+    acc
+}
+
+/// Count of canonical (valid-partition) variants, computed by capped
+/// enumeration. Returns `(count, exceeded)` where `exceeded` means the
+/// cap was hit and the count is a lower bound.
+pub fn canonical_count_capped(
+    sk: &Skeleton,
+    granularity: Granularity,
+    cap: usize,
+) -> (BigUint, bool) {
+    let mut acc = BigUint::one();
+    let mut exceeded = false;
+    for u in sk.units(granularity) {
+        for g in &u.groups {
+            let (sols, truncated) = canonical_solutions(&g.general, cap);
+            exceeded |= truncated;
+            acc *= &BigUint::from(sols.len());
+        }
+    }
+    (acc, exceeded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1() -> Skeleton {
+        Skeleton::from_source(
+            "int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }",
+        )
+        .expect("builds")
+    }
+
+    #[test]
+    fn figure1_counts() {
+        let sk = fig1();
+        assert_eq!(naive_count(&sk, Granularity::Intra).to_u64(), Some(128));
+        assert_eq!(spe_count(&sk, Granularity::Intra).to_u64(), Some(64));
+    }
+
+    #[test]
+    fn enumeration_matches_closed_form() {
+        let sk = fig1();
+        let e = Enumerator::new(EnumeratorConfig::default());
+        let outcome = e.enumerate(&sk, &mut |_| ControlFlow::Continue(()));
+        assert_eq!(outcome.emitted, 64);
+        assert!(!outcome.truncated);
+    }
+
+    #[test]
+    fn naive_enumeration_matches_naive_count() {
+        let sk = fig1();
+        let e = Enumerator::new(EnumeratorConfig {
+            algorithm: Algorithm::Naive,
+            ..Default::default()
+        });
+        let outcome = e.enumerate(&sk, &mut |_| ControlFlow::Continue(()));
+        assert_eq!(outcome.emitted, 128);
+    }
+
+    #[test]
+    fn all_variants_parse_and_are_distinct() {
+        let sk = fig1();
+        for algorithm in [
+            Algorithm::Paper,
+            Algorithm::Canonical,
+            Algorithm::Orbit,
+            Algorithm::Naive,
+        ] {
+            let e = Enumerator::new(EnumeratorConfig {
+                algorithm,
+                ..Default::default()
+            });
+            let sources = e.collect_sources(&sk);
+            let mut seen = std::collections::HashSet::new();
+            for s in &sources {
+                Skeleton::from_source(s)
+                    .unwrap_or_else(|err| panic!("{algorithm:?} emitted invalid code: {err}\n{s}"));
+                assert!(seen.insert(s.clone()), "{algorithm:?} duplicate:\n{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_ordering_on_single_scope() {
+        // With a single (global) scope all three reduced enumerators
+        // agree.
+        let sk = fig1();
+        let count = |a: Algorithm| {
+            Enumerator::new(EnumeratorConfig {
+                algorithm: a,
+                ..Default::default()
+            })
+            .enumerate(&sk, &mut |_| ControlFlow::Continue(()))
+            .emitted
+        };
+        assert_eq!(count(Algorithm::Paper), 64);
+        assert_eq!(count(Algorithm::Canonical), 64);
+        assert_eq!(count(Algorithm::Orbit), 64);
+        assert_eq!(count(Algorithm::Naive), 128);
+    }
+
+    #[test]
+    fn scoped_program_algorithm_relations() {
+        // Figure 6-like program: canonical <= paper <= orbit <= naive.
+        let sk = Skeleton::from_source(
+            r#"
+            int main() {
+                int a = 1, b = 0;
+                if (a) {
+                    int c = 3, d = 5;
+                    b = c + d;
+                }
+                printf("%d", a);
+                printf("%d", b);
+                return 0;
+            }
+            "#,
+        )
+        .expect("builds");
+        let count = |a: Algorithm| {
+            Enumerator::new(EnumeratorConfig {
+                algorithm: a,
+                budget: 1_000_000,
+                ..Default::default()
+            })
+            .enumerate(&sk, &mut |_| ControlFlow::Continue(()))
+            .emitted
+        };
+        let (c, p, o, n) = (
+            count(Algorithm::Canonical),
+            count(Algorithm::Paper),
+            count(Algorithm::Orbit),
+            count(Algorithm::Naive),
+        );
+        assert!(c <= p, "canonical {c} <= paper {p}");
+        assert!(p <= o, "paper {p} <= orbit {o}");
+        assert!(o <= n, "orbit {o} <= naive {n}");
+        // Holes: a(if), b(lhs), c, d, a(printf), b(printf) with allowed
+        // sizes 2, 4, 4, 4, 2, 2 -> naive = 2^3 · 4^3 = 512.
+        assert_eq!(n, 512);
+    }
+
+    #[test]
+    fn budget_truncates_product() {
+        let sk = fig1();
+        let e = Enumerator::new(EnumeratorConfig {
+            budget: 10,
+            ..Default::default()
+        });
+        let outcome = e.enumerate(&sk, &mut |_| ControlFlow::Continue(()));
+        assert_eq!(outcome.emitted, 10);
+        assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn visitor_break_stops_early() {
+        let sk = fig1();
+        let e = Enumerator::new(EnumeratorConfig::default());
+        let mut n = 0;
+        let outcome = e.enumerate(&sk, &mut |_| {
+            n += 1;
+            if n == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert_eq!(outcome.emitted, 3);
+        assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn multi_function_product() {
+        let sk = Skeleton::from_source(
+            "int g, h; void f() { g = h; } void k() { h = g; }",
+        )
+        .expect("builds");
+        // Each function: 2 holes over 2 globals -> {2 1} + {2 2} = 2; the
+        // intra product is 4.
+        assert_eq!(spe_count(&sk, Granularity::Intra).to_u64(), Some(4));
+        // Inter: all 4 holes in one unit -> {4 1} + {4 2} = 8.
+        assert_eq!(spe_count(&sk, Granularity::Inter).to_u64(), Some(8));
+        let e = Enumerator::new(EnumeratorConfig::default());
+        assert_eq!(e.collect_sources(&sk).len(), 4);
+    }
+
+    #[test]
+    fn multi_type_product() {
+        let sk = Skeleton::from_source(
+            "int a, b; double x, y; void f() { a = b; x = y; }",
+        )
+        .expect("builds");
+        // Each type group: 2 holes over 2 vars -> 2; product 4.
+        assert_eq!(spe_count(&sk, Granularity::Intra).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn canonical_capped_count() {
+        let sk = fig1();
+        let (count, exceeded) = canonical_count_capped(&sk, Granularity::Intra, 10_000);
+        assert_eq!(count.to_u64(), Some(64));
+        assert!(!exceeded);
+        let (count, exceeded) = canonical_count_capped(&sk, Granularity::Intra, 10);
+        assert_eq!(count.to_u64(), Some(10));
+        assert!(exceeded);
+    }
+
+    #[test]
+    fn original_program_is_among_naive_variants() {
+        // The naive enumeration contains the identity filling verbatim.
+        let sk = fig1();
+        let original = sk.source();
+        let e = Enumerator::new(EnumeratorConfig {
+            algorithm: Algorithm::Naive,
+            ..Default::default()
+        });
+        let sources = e.collect_sources(&sk);
+        assert!(
+            sources.contains(&original),
+            "the identity filling must be enumerated"
+        );
+    }
+
+    #[test]
+    fn original_alpha_class_is_among_paper_variants() {
+        // The paper enumeration emits canonical representatives: the
+        // original program appears up to α-renaming (same RGS over its
+        // holes), not necessarily verbatim.
+        let sk = fig1();
+        let original_rgs = {
+            let labels: Vec<usize> = sk
+                .holes()
+                .iter()
+                .map(|h| h.var.0)
+                .collect();
+            spe_combinatorics::labels_to_rgs(&labels)
+        };
+        let e = Enumerator::new(EnumeratorConfig::default());
+        let mut found = false;
+        e.enumerate(&sk, &mut |v| {
+            let src = v.source(&sk);
+            let re = Skeleton::from_source(&src).expect("variant parses");
+            let labels: Vec<usize> = re.holes().iter().map(|h| h.var.0).collect();
+            if spe_combinatorics::labels_to_rgs(&labels) == original_rgs {
+                found = true;
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        assert!(found, "no variant is α-equivalent to the original");
+    }
+}

@@ -1,0 +1,117 @@
+//! Corpus-level statistics: the columns of the paper's Table 2.
+
+use crate::TestFile;
+use spe_skeleton::Skeleton;
+
+/// Averages over a set of test files (Table 2's row format).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusStats {
+    /// Files successfully analyzed.
+    pub files: usize,
+    /// Average holes per file.
+    pub holes: f64,
+    /// Average scopes per file.
+    pub scopes: f64,
+    /// Average function definitions per file.
+    pub funcs: f64,
+    /// Average distinct variable types per file.
+    pub types: f64,
+    /// Average candidate variables per hole.
+    pub vars_per_hole: f64,
+}
+
+/// Computes Table 2-style averages. Files that fail to parse or analyze
+/// are skipped (the paper's pipeline likewise only processes files its
+/// frontend accepts).
+///
+/// # Examples
+///
+/// ```
+/// use spe_corpus::{stats::compute, seeds};
+/// let s = compute(&seeds::all());
+/// assert!(s.files > 0);
+/// assert!(s.holes > 0.0);
+/// ```
+pub fn compute(files: &[TestFile]) -> CorpusStats {
+    let mut n = 0usize;
+    let (mut holes, mut scopes, mut funcs, mut types, mut vph) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for f in files {
+        let Ok(sk) = Skeleton::from_source(&f.source) else {
+            continue;
+        };
+        let st = sk.stats();
+        n += 1;
+        holes += st.holes as f64;
+        scopes += st.scopes as f64;
+        funcs += st.funcs as f64;
+        types += st.types as f64;
+        vph += st.vars_per_hole;
+    }
+    let d = n.max(1) as f64;
+    CorpusStats {
+        files: n,
+        holes: holes / d,
+        scopes: scopes / d,
+        funcs: funcs / d,
+        types: types / d,
+        vars_per_hole: vph / d,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, CorpusConfig};
+
+    #[test]
+    fn stats_are_in_torture_suite_ballpark() {
+        // Table 2 reports 7.34 holes, 2.77 scopes, 1.85 funcs, 1.38
+        // types, 3.46 vars/hole on average; the synthetic corpus should
+        // land in the same ballpark (not exactly — it is a different
+        // suite).
+        let files = generate(&CorpusConfig { files: 500, seed: 42 });
+        let s = compute(&files);
+        assert_eq!(s.files, 500);
+        assert!(
+            (3.0..25.0).contains(&s.holes),
+            "avg holes {} out of range",
+            s.holes
+        );
+        assert!(
+            (2.0..5.0).contains(&s.scopes),
+            "avg scopes {} out of range",
+            s.scopes
+        );
+        assert!(
+            (1.0..3.0).contains(&s.funcs),
+            "avg funcs {} out of range",
+            s.funcs
+        );
+        assert!(
+            (1.0..3.0).contains(&s.types),
+            "avg types {} out of range",
+            s.types
+        );
+        assert!(
+            (2.0..8.0).contains(&s.vars_per_hole),
+            "avg vars/hole {} out of range",
+            s.vars_per_hole
+        );
+    }
+
+    #[test]
+    fn unparsable_files_are_skipped() {
+        let files = vec![
+            TestFile {
+                name: "bad.c".into(),
+                source: "not c at all".into(),
+            },
+            TestFile {
+                name: "good.c".into(),
+                source: "int a; int main() { return a; }".into(),
+            },
+        ];
+        let s = compute(&files);
+        assert_eq!(s.files, 1);
+    }
+}

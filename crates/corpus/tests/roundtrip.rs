@@ -1,0 +1,82 @@
+//! Property tests driving the whole frontend with generated corpora:
+//! parse → print → parse fixpoints, analysis stability, and enumeration
+//! safety on arbitrary seeds.
+
+use proptest::prelude::*;
+use spe_corpus::{generate, CorpusConfig};
+use spe_skeleton::{Granularity, Skeleton};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn printer_is_a_fixpoint_on_generated_corpora(seed in 0u64..10_000) {
+        let files = generate(&CorpusConfig { files: 6, seed });
+        for f in &files {
+            let p1 = spe_minic::parse(&f.source).expect("generated code parses");
+            let s1 = spe_minic::print_program(&p1);
+            let p2 = spe_minic::parse(&s1)
+                .unwrap_or_else(|e| panic!("{}: reprint failed: {e}\n{s1}", f.name));
+            let s2 = spe_minic::print_program(&p2);
+            prop_assert_eq!(s1, s2, "printer not a fixpoint for {}", f.name);
+        }
+    }
+
+    #[test]
+    fn skeleton_statistics_are_stable_under_reprinting(seed in 0u64..10_000) {
+        let files = generate(&CorpusConfig { files: 4, seed });
+        for f in &files {
+            let sk1 = Skeleton::from_source(&f.source).expect("analyzes");
+            let reprinted = sk1.source();
+            let sk2 = Skeleton::from_source(&reprinted).expect("reanalyzes");
+            prop_assert_eq!(sk1.num_holes(), sk2.num_holes());
+            let s1 = sk1.stats();
+            let s2 = sk2.stats();
+            prop_assert_eq!(s1.scopes, s2.scopes);
+            prop_assert_eq!(s1.funcs, s2.funcs);
+            prop_assert_eq!(s1.types, s2.types);
+        }
+    }
+
+    #[test]
+    fn counts_are_invariant_under_alpha_renaming_of_the_seed(seed in 0u64..10_000) {
+        // Enumerating a variant of a skeleton must give the same counts
+        // as enumerating the original (the skeleton is the invariant).
+        use spe_combinatorics::paper_count;
+        let files = generate(&CorpusConfig { files: 2, seed });
+        for f in &files {
+            let sk = Skeleton::from_source(&f.source).expect("analyzes");
+            let units = sk.units(Granularity::Intra);
+            // Only exact flat encodings guarantee valid realizations for
+            // every paper solution (DESIGN.md §2: the flat view is an
+            // approximation under declaration-order effects).
+            if units
+                .iter()
+                .flat_map(|u| u.groups.iter())
+                .any(|g| !g.flat_exact)
+            {
+                continue;
+            }
+            let Some(group) = units.iter().flat_map(|u| u.groups.iter()).next() else {
+                continue;
+            };
+            let (sols, _) = spe_combinatorics::paper_solutions(&group.flat, 50);
+            let Some(sol) = sols.last() else { continue };
+            let rename = sk.rename_for_solution(group, sol);
+            let variant_src = sk.realize(&rename);
+            let sk2 = Skeleton::from_source(&variant_src).expect("variant analyzes");
+            let units2 = sk2.units(Granularity::Intra);
+            let count1: Vec<_> = units
+                .iter()
+                .flat_map(|u| u.groups.iter())
+                .map(|g| paper_count(&g.flat))
+                .collect();
+            let count2: Vec<_> = units2
+                .iter()
+                .flat_map(|u| u.groups.iter())
+                .map(|g| paper_count(&g.flat))
+                .collect();
+            prop_assert_eq!(count1, count2, "{}", f.name);
+        }
+    }
+}

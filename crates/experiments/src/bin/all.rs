@@ -1,0 +1,39 @@
+//! Regenerates every table and figure; with `--markdown` the output is
+//! the body recorded in `EXPERIMENTS.md`.
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let scale = spe_experiments::Scale::full();
+    let run = spe_experiments::counting_run(scale);
+    let t1 = spe_experiments::table1(&run);
+    let t2 = spe_experiments::table2(scale);
+    let (f8a, f8b) = spe_experiments::figure8(&run);
+    let t3 = spe_experiments::table3(scale);
+    let (t4, trunk_report) = spe_experiments::table4(scale);
+    let f9 = spe_experiments::figure9(scale);
+    let f10 = spe_experiments::figure10(&trunk_report);
+    let gen = spe_experiments::generality();
+    if markdown {
+        println!("{}", t1.render_markdown());
+        println!("{}", t2.render_markdown());
+        println!("```text\n{}\n{}```\n", f8a.render(40), f8b.render(40));
+        println!("{}", t3.render_markdown());
+        println!("{}", t4.render_markdown());
+        println!("```text\n{}```\n", f9.render(40));
+        for h in &f10 {
+            println!("```text\n{}```\n", h.render(40));
+        }
+        println!("{}", gen.render_markdown());
+    } else {
+        println!("{}", t1.render());
+        println!("{}", t2.render());
+        println!("{}", f8a.render(40));
+        println!("{}", f8b.render(40));
+        println!("{}", t3.render());
+        println!("{}", t4.render());
+        println!("{}", f9.render(40));
+        for h in &f10 {
+            println!("{}", h.render(40));
+        }
+        println!("{}", gen.render());
+    }
+}

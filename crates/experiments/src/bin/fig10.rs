@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 10 (bug characteristics).
+fn main() {
+    let (_, report) = spe_experiments::table4(spe_experiments::Scale::full());
+    for h in spe_experiments::figure10(&report) {
+        println!("{}", h.render(40));
+    }
+}

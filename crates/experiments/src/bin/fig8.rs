@@ -1,0 +1,7 @@
+//! Regenerates the paper's Figure 8 (variant-count distributions).
+fn main() {
+    let run = spe_experiments::counting_run(spe_experiments::Scale::full());
+    let (a, b) = spe_experiments::figure8(&run);
+    println!("{}", a.render(40));
+    println!("{}", b.render(40));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 9 (coverage improvements).
+fn main() {
+    println!("{}", spe_experiments::figure9(spe_experiments::Scale::full()).render(40));
+}

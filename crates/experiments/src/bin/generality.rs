@@ -1,0 +1,4 @@
+//! Regenerates the §5.3 generality results (WHILE-language campaigns).
+fn main() {
+    println!("{}", spe_experiments::generality().render());
+}

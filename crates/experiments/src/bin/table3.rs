@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 3 (stable-release crash signatures).
+fn main() {
+    println!("{}", spe_experiments::table3(spe_experiments::Scale::full()).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Table 4 (trunk campaign overview).
+fn main() {
+    let (t, _) = spe_experiments::table4(spe_experiments::Scale::full());
+    println!("{}", t.render());
+}

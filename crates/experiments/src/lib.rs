@@ -1,0 +1,463 @@
+//! Regenerators for every table and figure of the SPE paper's evaluation.
+//!
+//! Each `table*`/`fig*` function reproduces one artifact of §5 with the
+//! workspace's substitutes (synthetic corpus, simulated compilers; see
+//! `DESIGN.md` §3 and §5). The binaries under `src/bin/` print them;
+//! `bin/all` regenerates everything and emits the Markdown recorded in
+//! `EXPERIMENTS.md`.
+
+use spe_bignum::BigUint;
+use spe_core::{spe_count, naive_count, Granularity, Skeleton};
+use spe_corpus::{generate, seeds, stats, CorpusConfig, TestFile};
+use spe_harness::coverage_run::figure9 as run_figure9;
+use spe_harness::triage::{figure10 as run_figure10, table4 as run_table4};
+use spe_harness::{run_campaign, CampaignConfig, FindingKind};
+use spe_report::{figure8_bucket_of, figure8_buckets, Histogram, Table};
+use spe_simcc::bugs::GCC_VERSIONS;
+use spe_simcc::{Compiler, CompilerId};
+
+/// Scale of an experiment run: `quick` for tests/examples, `full` for the
+/// recorded numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Corpus size for the counting experiments.
+    pub corpus_files: usize,
+    /// Per-file variant budget for campaigns.
+    pub budget: usize,
+    /// Files sampled for the coverage experiment.
+    pub coverage_files: usize,
+}
+
+impl Scale {
+    /// Small run for CI and examples (a few seconds).
+    pub fn quick() -> Scale {
+        Scale {
+            corpus_files: 200,
+            budget: 50,
+            coverage_files: 20,
+        }
+    }
+
+    /// The recorded configuration (about a minute).
+    pub fn full() -> Scale {
+        Scale {
+            corpus_files: 2000,
+            budget: 200,
+            coverage_files: 100,
+        }
+    }
+}
+
+/// Per-file counting results shared by Table 1 and Figure 8.
+pub struct CountingRun {
+    /// Corpus files with their naive and SPE counts.
+    pub per_file: Vec<(String, BigUint, BigUint)>,
+}
+
+/// Counts the naive and SPE (paper algorithm) enumeration sizes of every
+/// file in the default corpus.
+pub fn counting_run(scale: Scale) -> CountingRun {
+    let files = generate(&CorpusConfig {
+        files: scale.corpus_files,
+        seed: 42,
+    });
+    let per_file = files
+        .iter()
+        .filter_map(|f| {
+            let sk = Skeleton::from_source(&f.source).ok()?;
+            Some((
+                f.name.clone(),
+                naive_count(&sk, Granularity::Intra),
+                spe_count(&sk, Granularity::Intra),
+            ))
+        })
+        .collect();
+    CountingRun { per_file }
+}
+
+/// Table 1: total/average enumeration-set sizes, naive vs SPE, for the
+/// whole corpus and for the 10K-thresholded subset.
+pub fn table1(run: &CountingRun) -> Table {
+    let threshold = BigUint::from(10_000u64);
+    let mut t = Table::new(
+        "Table 1: enumeration-set size reduction (naive vs SPE)",
+        &[
+            "Approach",
+            "Total size",
+            "Avg. size",
+            "#Files",
+            "Total (<=10K)",
+            "Avg (<=10K)",
+            "#Files (<=10K)",
+        ],
+    );
+    let all_naive: BigUint = run.per_file.iter().map(|(_, n, _)| n).sum();
+    let all_spe: BigUint = run.per_file.iter().map(|(_, _, s)| s).sum();
+    let kept: Vec<&(String, BigUint, BigUint)> = run
+        .per_file
+        .iter()
+        .filter(|(_, _, s)| *s <= threshold)
+        .collect();
+    let kept_naive: BigUint = kept.iter().map(|(_, n, _)| n).sum();
+    let kept_spe: BigUint = kept.iter().map(|(_, _, s)| s).sum();
+    let files = run.per_file.len().max(1) as u64;
+    let kept_files = kept.len().max(1) as u64;
+    let avg = |total: &BigUint, n: u64| total.divmod_word(n).0.to_scientific();
+    t.row(&[
+        "Naive".into(),
+        all_naive.to_scientific(),
+        avg(&all_naive, files),
+        files.to_string(),
+        kept_naive.to_scientific(),
+        avg(&kept_naive, kept_files),
+        kept_files.to_string(),
+    ]);
+    t.row(&[
+        "Our".into(),
+        all_spe.to_scientific(),
+        avg(&all_spe, files),
+        files.to_string(),
+        kept_spe.to_scientific(),
+        avg(&kept_spe, kept_files),
+        kept_files.to_string(),
+    ]);
+    // Orders-of-magnitude reduction rows (the paper's headline numbers).
+    let omd_all = all_naive.log10() - all_spe.log10();
+    let omd_kept = kept_naive.log10() - kept_spe.log10();
+    t.row(&[
+        "Reduction".into(),
+        format!("{omd_all:.1} orders"),
+        String::new(),
+        String::new(),
+        format!("{omd_kept:.1} orders"),
+        String::new(),
+        String::new(),
+    ]);
+    t
+}
+
+/// Table 2: corpus characteristics (original vs 10K-thresholded subset).
+pub fn table2(scale: Scale) -> Table {
+    let files = generate(&CorpusConfig {
+        files: scale.corpus_files,
+        seed: 42,
+    });
+    let threshold = BigUint::from(10_000u64);
+    let kept: Vec<TestFile> = files
+        .iter()
+        .filter(|f| {
+            Skeleton::from_source(&f.source)
+                .map(|sk| spe_count(&sk, Granularity::Intra) <= threshold)
+                .unwrap_or(false)
+        })
+        .cloned()
+        .collect();
+    let all = stats::compute(&files);
+    let enumerated = stats::compute(&kept);
+    let mut t = Table::new(
+        "Table 2: test-suite characteristics",
+        &["Test-Suite", "#Holes", "#Scopes", "#Funcs", "#Types", "#Vars/hole"],
+    );
+    for (name, s) in [("Original", all), ("Enumerated", enumerated)] {
+        t.row(&[
+            name.into(),
+            format!("{:.2}", s.holes),
+            format!("{:.2}", s.scopes),
+            format!("{:.2}", s.funcs),
+            format!("{:.2}", s.types),
+            format!("{:.2}", s.vars_per_hole),
+        ]);
+    }
+    t
+}
+
+/// Figure 8(a): distribution of per-file variant counts; 8(b): average
+/// eliminated fraction per naive bucket.
+pub fn figure8(run: &CountingRun) -> (Histogram, Histogram) {
+    let labels = figure8_buckets();
+    let n = run.per_file.len().max(1) as f64;
+    let mut naive_hist = vec![0.0; labels.len()];
+    let mut spe_hist = vec![0.0; labels.len()];
+    let mut reduction_sum = vec![0.0; labels.len()];
+    let mut reduction_cnt = vec![0usize; labels.len()];
+    for (_, naive, spe) in &run.per_file {
+        naive_hist[figure8_bucket_of(naive)] += 1.0;
+        spe_hist[figure8_bucket_of(spe)] += 1.0;
+        let b = figure8_bucket_of(naive);
+        // Eliminated fraction 1 - spe/naive via log-safe arithmetic.
+        let frac = 1.0 - (spe.log10() - naive.log10()).exp10_clamped();
+        reduction_sum[b] += frac.clamp(0.0, 1.0);
+        reduction_cnt[b] += 1;
+    }
+    let mut a = Histogram::new(
+        "Figure 8(a): distribution of per-file variant counts",
+        labels.clone(),
+    );
+    a.series("Naive", naive_hist.iter().map(|c| c / n).collect());
+    a.series("Our", spe_hist.iter().map(|c| c / n).collect());
+    let mut b = Histogram::new(
+        "Figure 8(b): avg fraction of variants eliminated per naive bucket",
+        labels,
+    );
+    b.series(
+        "Eliminated",
+        reduction_sum
+            .iter()
+            .zip(&reduction_cnt)
+            .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect(),
+    );
+    (a, b)
+}
+
+trait Exp10Clamped {
+    fn exp10_clamped(self) -> f64;
+}
+
+impl Exp10Clamped for f64 {
+    /// `10^x` clamped into [0, 1] for x <= 0 (ratios of counts).
+    fn exp10_clamped(self) -> f64 {
+        if self >= 0.0 {
+            1.0
+        } else {
+            10f64.powf(self)
+        }
+    }
+}
+
+/// Table 3: crash signatures found on the stable releases, via an SPE
+/// campaign of the corpus + seeds against gcc-sim 4.8.5 and clang-sim
+/// 3.6.
+pub fn table3(scale: Scale) -> Table {
+    let mut files = seeds::all();
+    files.extend(generate(&CorpusConfig {
+        files: scale.corpus_files / 4,
+        seed: 43,
+    }));
+    let report = run_campaign(
+        &files,
+        &CampaignConfig {
+            compilers: vec![
+                Compiler::new(CompilerId::gcc(485), 0),
+                Compiler::new(CompilerId::gcc(485), 3),
+                Compiler::new(CompilerId::clang(360), 0),
+                Compiler::new(CompilerId::clang(360), 3),
+            ],
+            budget: scale.budget,
+            check_wrong_code: false,
+            ..Default::default()
+        },
+    );
+    let mut t = Table::new(
+        "Table 3: crash signatures found on stable releases",
+        &["Compiler", "Signature"],
+    );
+    for f in report.primary_findings() {
+        if f.kind == FindingKind::Crash {
+            t.row(&[f.compiler.to_string(), f.signature.clone()]);
+        }
+    }
+    t
+}
+
+/// Table 4: trunk campaign overview (reported/fixed/duplicate and bug
+/// classification), via an SPE campaign against the trunk profiles.
+pub fn table4(scale: Scale) -> (Table, spe_harness::CampaignReport) {
+    let mut files = seeds::all();
+    files.extend(generate(&CorpusConfig {
+        files: scale.corpus_files / 2,
+        seed: 44,
+    }));
+    let report = run_campaign(
+        &files,
+        &CampaignConfig {
+            compilers: vec![
+                Compiler::new(CompilerId::gcc(700), 0),
+                Compiler::new(CompilerId::gcc(700), 1),
+                Compiler::new(CompilerId::gcc(700), 2),
+                Compiler::new(CompilerId::gcc(700), 3),
+                Compiler::new(CompilerId::clang(390), 0),
+                Compiler::new(CompilerId::clang(390), 2),
+                Compiler::new(CompilerId::clang(390), 3),
+            ],
+            budget: scale.budget,
+            check_wrong_code: true,
+            ..Default::default()
+        },
+    );
+    let rows = run_table4(&report, &["gcc-sim", "clang-sim"]);
+    let mut t = Table::new(
+        "Table 4: trunk campaign overview",
+        &[
+            "Compiler", "Reported", "Fixed", "Duplicate", "Invalid", "Reopened", "Crash",
+            "Wrong code", "Performance",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.family.clone(),
+            r.reported.to_string(),
+            r.fixed.to_string(),
+            r.duplicate.to_string(),
+            r.invalid.to_string(),
+            r.reopened.to_string(),
+            r.crash.to_string(),
+            r.wrong_code.to_string(),
+            r.performance.to_string(),
+        ]);
+    }
+    (t, report)
+}
+
+/// Figure 9: coverage improvements of SPE vs PM-10/20/30.
+pub fn figure9(scale: Scale) -> Histogram {
+    let files = generate(&CorpusConfig {
+        files: scale.coverage_files,
+        seed: 45,
+    });
+    let fig = run_figure9(&files, scale.budget.min(40), &[10, 20, 30], 7);
+    let mut h = Histogram::new(
+        format!(
+            "Figure 9: coverage improvement over baseline ({:.1}% functions, {:.1}% lines)",
+            fig.baseline.function, fig.baseline.line
+        ),
+        vec!["Function".into(), "Line".into()],
+    );
+    for (x, p) in &fig.pm {
+        h.series(format!("PM-{x}"), vec![p.function, p.line]);
+    }
+    h.series("SPE", vec![fig.spe.function, fig.spe.line]);
+    h
+}
+
+/// Figure 10: characteristics of the gcc-sim trunk bugs from the Table 4
+/// campaign.
+pub fn figure10(report: &spe_harness::CampaignReport) -> Vec<Histogram> {
+    let fig = run_figure10(report, "gcc-sim", GCC_VERSIONS);
+    let mk = |title: &str, data: &[(String, usize, usize)]| {
+        let mut h = Histogram::new(
+            title.to_string(),
+            data.iter().map(|(l, _, _)| l.clone()).collect(),
+        );
+        h.series("Reported", data.iter().map(|(_, r, _)| *r as f64).collect());
+        h.series("Fixed", data.iter().map(|(_, _, f)| *f as f64).collect());
+        h
+    };
+    vec![
+        mk("Figure 10(a): bug priorities", &fig.priorities),
+        mk("Figure 10(b): affected optimization levels", &fig.opt_levels),
+        mk("Figure 10(c): affected gcc-sim versions", &fig.versions),
+        mk("Figure 10(d): affected components", &fig.components),
+    ]
+}
+
+/// §5.3 generality: a WHILE-language campaign against the CompCert-like
+/// and Scala-like profiles. Returns (compiler label, crash signatures,
+/// wrong-code findings) per profile.
+pub fn generality() -> Table {
+    use spe_combinatorics::Rgs;
+    use spe_skeleton::WhileSkeleton;
+    use spe_while::compiler::{compile, execute, BugProfile, Options};
+    use spe_while::{interpret, Outcome};
+
+    let programs = [
+        "a := 1; b := 2; c := (a + b) - (a + b); d := c",
+        "a := 3; b := 1; while a do a := a - b",
+        "y := 0; x := y; while x < 3 do begin s := s + 1; x := x + 1 end",
+        "p := 2; q := 3; r := p * q; if r < 10 then r := r + 1 else skip",
+    ];
+    let mut t = Table::new(
+        "Generality (paper §5.3): WHILE-language campaigns",
+        &["Profile", "Crash signatures", "Wrong-code findings", "Variants"],
+    );
+    for (label, profile) in [
+        ("compcert-sim", BugProfile::CompCertSim),
+        ("scala-sim", BugProfile::ScalaSim),
+    ] {
+        let mut crashes = std::collections::BTreeSet::new();
+        let mut wrong = 0usize;
+        let mut variants = 0usize;
+        for src in &programs {
+            let Ok(sk) = WhileSkeleton::from_source(src) else {
+                continue;
+            };
+            let k = sk.variables().len();
+            for rgs in Rgs::new(sk.num_holes(), k) {
+                let variant = sk.realize_rgs(&rgs);
+                variants += 1;
+                let reference = match interpret(&variant, 20_000) {
+                    Ok(Outcome::Finished(s)) => s,
+                    _ => continue, // timeout or overflow: skip
+                };
+                for opt in [1u8, 2] {
+                    match compile(&variant, Options { opt_level: opt, profile }) {
+                        Err(ice) => {
+                            crashes.insert(format!("{}: {}", ice.pass, ice.message));
+                        }
+                        Ok(compiled) => {
+                            if let Ok(Outcome::Finished(out)) = execute(&compiled, 100_000) {
+                                if out != reference {
+                                    wrong += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        t.row(&[
+            label.into(),
+            crashes.len().to_string(),
+            wrong.to_string(),
+            variants.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shows_reduction() {
+        let run = counting_run(Scale {
+            corpus_files: 120,
+            budget: 10,
+            coverage_files: 5,
+        });
+        let t = table1(&run);
+        assert_eq!(t.rows.len(), 3);
+        // SPE total must be strictly smaller than naive total.
+        let all_naive: BigUint = run.per_file.iter().map(|(_, n, _)| n).sum();
+        let all_spe: BigUint = run.per_file.iter().map(|(_, _, s)| s).sum();
+        assert!(all_spe < all_naive);
+        // The thresholded reduction should span multiple orders of
+        // magnitude, as in the paper.
+        assert!(all_naive.log10() - all_spe.log10() > 3.0);
+    }
+
+    #[test]
+    fn figure8_fractions_sum_to_one() {
+        let run = counting_run(Scale {
+            corpus_files: 80,
+            budget: 10,
+            coverage_files: 5,
+        });
+        let (a, _b) = figure8(&run);
+        for (_, series) in &a.series {
+            let sum: f64 = series.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn generality_finds_both_profiles_bugs() {
+        let t = generality();
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let crashes: usize = row[1].parse().expect("count");
+            assert!(crashes >= 1, "profile {} found no crashes", row[0]);
+        }
+    }
+}

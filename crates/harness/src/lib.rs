@@ -1,0 +1,426 @@
+//! Differential compiler-testing campaigns driven by skeletal program
+//! enumeration.
+//!
+//! This crate is the paper's §5 experimental machinery:
+//!
+//! * [`run_campaign`] enumerates SPE variants of a corpus and feeds them
+//!   to one or more [`Compiler`]s, detecting **crash bugs** (internal
+//!   compiler errors, deduplicated by signature as in Table 3), **wrong
+//!   code** (differential mismatch between the UB-checked reference
+//!   interpreter and the compiled VM image), and **performance bugs**;
+//! * [`triage`] aggregates findings into the paper's Table 4 and
+//!   Figure 10 shapes using the seeded-bug registry metadata;
+//! * [`mutation`] implements the Orion-style statement-deletion baseline
+//!   (PM-X in Figure 9);
+//! * [`coverage_run`] measures pass/point coverage improvements of SPE
+//!   and mutation variants over the baseline suite (Figure 9).
+
+use spe_core::{Algorithm, Enumerator, EnumeratorConfig, Granularity, Skeleton};
+use spe_corpus::TestFile;
+use spe_simcc::{interp, Compiler, CompileError, CompilerId};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+pub mod coverage_run;
+pub mod mutation;
+pub mod triage;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Compilers (with optimization levels) under test.
+    pub compilers: Vec<Compiler>,
+    /// Variants enumerated per file (the paper's 10K threshold, usually
+    /// lowered for quick runs).
+    pub budget: usize,
+    /// Enumeration semantics.
+    pub algorithm: Algorithm,
+    /// Whether to run the differential wrong-code oracle (crash-only
+    /// campaigns are much faster, mirroring §5.2.3).
+    pub check_wrong_code: bool,
+    /// Interpreter/VM fuel per execution.
+    pub fuel: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            compilers: vec![
+                Compiler::new(CompilerId::gcc(700), 0),
+                Compiler::new(CompilerId::gcc(700), 3),
+                Compiler::new(CompilerId::clang(390), 0),
+                Compiler::new(CompilerId::clang(390), 3),
+            ],
+            budget: 64,
+            algorithm: Algorithm::Paper,
+            check_wrong_code: true,
+            fuel: 50_000,
+        }
+    }
+}
+
+/// What kind of defect a finding reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FindingKind {
+    /// Internal compiler error.
+    Crash,
+    /// Differential mismatch on a UB-free input.
+    WrongCode,
+    /// Pathological compile time.
+    Performance,
+}
+
+impl FindingKind {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FindingKind::Crash => "crash",
+            FindingKind::WrongCode => "wrong code",
+            FindingKind::Performance => "performance",
+        }
+    }
+}
+
+/// One deduplicated bug report.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Kind of defect.
+    pub kind: FindingKind,
+    /// Compiler that exhibited it.
+    pub compiler: CompilerId,
+    /// Optimization level of the failing configuration.
+    pub opt: u8,
+    /// Dedup key: the crash signature, or a synthesized wrong-code /
+    /// performance symptom description.
+    pub signature: String,
+    /// Ground-truth seeded bug (available for crashes and triaged
+    /// miscompiles; `None` when triage could not attribute it).
+    pub bug_id: Option<&'static str>,
+    /// Corpus file whose variant exposed the bug.
+    pub file: String,
+    /// A variant that reproduces it.
+    pub reproducer: String,
+    /// `Some(signature)` when the same underlying defect was already
+    /// reported under another signature (the paper's "Duplicate" column).
+    pub duplicate_of: Option<String>,
+}
+
+/// Aggregate campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// All unique-signature reports (including duplicates of the same
+    /// root cause, as in the paper's bookkeeping).
+    pub findings: Vec<Finding>,
+    /// Files processed (parsed + analyzed successfully).
+    pub files_processed: usize,
+    /// Total variants compiled.
+    pub variants_tested: u64,
+    /// Variants skipped by the UB oracle before output comparison.
+    pub variants_ub_skipped: u64,
+}
+
+impl CampaignReport {
+    /// Findings that are not duplicates.
+    pub fn primary_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.duplicate_of.is_none())
+    }
+
+    /// Number of duplicate reports.
+    pub fn duplicates(&self) -> usize {
+        self.findings.iter().filter(|f| f.duplicate_of.is_some()).count()
+    }
+
+    /// Findings for one compiler family.
+    pub fn for_family<'a>(&'a self, family: &'a str) -> impl Iterator<Item = &'a Finding> {
+        self.findings.iter().filter(move |f| f.compiler.family == family)
+    }
+}
+
+/// Runs an SPE bug-hunting campaign over `files`.
+///
+/// Crash detection needs only compilation; the wrong-code oracle runs the
+/// UB-checking reference interpreter first and skips undefined variants,
+/// exactly as §5.4 prescribes.
+pub fn run_campaign(files: &[TestFile], config: &CampaignConfig) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    // (family, signature) -> index into findings.
+    let mut seen_signatures: HashMap<(String, String), usize> = HashMap::new();
+    // (family, bug id) -> first signature.
+    let mut seen_bugs: HashMap<(String, &'static str), String> = HashMap::new();
+
+    for file in files {
+        let Ok(sk) = Skeleton::from_source(&file.source) else {
+            continue;
+        };
+        report.files_processed += 1;
+        let enumerator = Enumerator::new(EnumeratorConfig {
+            algorithm: config.algorithm,
+            granularity: Granularity::Intra,
+            budget: config.budget,
+        });
+        enumerator.enumerate(&sk, &mut |variant| {
+            let src = variant.source(&sk);
+            let Ok(prog) = spe_minic::parse(&src) else {
+                return ControlFlow::Continue(());
+            };
+            let mut reference: Option<Result<interp::Execution, interp::Ub>> = None;
+            for cc in &config.compilers {
+                report.variants_tested += 1;
+                match cc.compile(&prog) {
+                    Err(CompileError::Ice(ice)) => {
+                        record(
+                            &mut report,
+                            &mut seen_signatures,
+                            &mut seen_bugs,
+                            Finding {
+                                kind: FindingKind::Crash,
+                                compiler: cc.id(),
+                                opt: cc.opt(),
+                                signature: ice.signature.to_string(),
+                                bug_id: Some(ice.bug_id),
+                                file: file.name.clone(),
+                                reproducer: src.clone(),
+                                duplicate_of: None,
+                            },
+                        );
+                    }
+                    Err(CompileError::Unsupported(_)) => {}
+                    Ok(compiled) => {
+                        for slow in &compiled.slow_compile_bugs {
+                            record(
+                                &mut report,
+                                &mut seen_signatures,
+                                &mut seen_bugs,
+                                Finding {
+                                    kind: FindingKind::Performance,
+                                    compiler: cc.id(),
+                                    opt: cc.opt(),
+                                    signature: format!(
+                                        "compile time blow-up in {} at -O{}",
+                                        cc.id().family,
+                                        cc.opt()
+                                    ),
+                                    bug_id: Some(slow),
+                                    file: file.name.clone(),
+                                    reproducer: src.clone(),
+                                    duplicate_of: None,
+                                },
+                            );
+                        }
+                        if config.check_wrong_code {
+                            // Evaluate the reference once per variant.
+                            if reference.is_none() {
+                                reference = Some(interp::run(
+                                    &prog,
+                                    interp::Limits {
+                                        fuel: config.fuel,
+                                        max_depth: 64,
+                                    },
+                                ));
+                            }
+                            match reference.as_ref().expect("just set") {
+                                Err(_) => {
+                                    // UB or non-termination: skip, per §5.4.
+                                    report.variants_ub_skipped += 1;
+                                }
+                                Ok(expected) => {
+                                    let got = compiled.execute(config.fuel * 4);
+                                    let mismatch = match &got {
+                                        Ok(out) => {
+                                            out.exit_code != expected.exit_code
+                                                || out.output != expected.output
+                                        }
+                                        Err(_) => true,
+                                    };
+                                    if mismatch {
+                                        let bug_id =
+                                            compiled.miscompiled_by.first().copied();
+                                        record(
+                                            &mut report,
+                                            &mut seen_signatures,
+                                            &mut seen_bugs,
+                                            Finding {
+                                                kind: FindingKind::WrongCode,
+                                                compiler: cc.id(),
+                                                opt: cc.opt(),
+                                                signature: format!(
+                                                    "wrong code: {} at -O{} on {}",
+                                                    cc.id().family,
+                                                    cc.opt(),
+                                                    file.name
+                                                ),
+                                                bug_id,
+                                                file: file.name.clone(),
+                                                reproducer: src.clone(),
+                                                duplicate_of: None,
+                                            },
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    report
+}
+
+fn record(
+    report: &mut CampaignReport,
+    seen_signatures: &mut HashMap<(String, String), usize>,
+    seen_bugs: &mut HashMap<(String, &'static str), String>,
+    mut finding: Finding,
+) {
+    let key = (
+        finding.compiler.family.to_string(),
+        finding.signature.clone(),
+    );
+    if seen_signatures.contains_key(&key) {
+        return; // already reported under this signature
+    }
+    if let Some(bug) = finding.bug_id {
+        let bkey = (finding.compiler.family.to_string(), bug);
+        match seen_bugs.get(&bkey) {
+            Some(first_sig) if *first_sig != finding.signature => {
+                finding.duplicate_of = Some(first_sig.clone());
+            }
+            Some(_) => {}
+            None => {
+                seen_bugs.insert(bkey, finding.signature.clone());
+            }
+        }
+    }
+    seen_signatures.insert(key, report.findings.len());
+    report.findings.push(finding);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_corpus::seeds;
+
+    fn seed_campaign(check_wrong_code: bool) -> CampaignReport {
+        let files = seeds::all();
+        run_campaign(
+            &files,
+            &CampaignConfig {
+                compilers: vec![
+                    Compiler::new(CompilerId::gcc(700), 0),
+                    Compiler::new(CompilerId::gcc(700), 3),
+                    Compiler::new(CompilerId::clang(390), 3),
+                ],
+                budget: 200,
+                algorithm: Algorithm::Paper,
+                check_wrong_code,
+                fuel: 20_000,
+            },
+        )
+    }
+
+    #[test]
+    fn finds_crash_bugs_in_seed_programs() {
+        let report = seed_campaign(false);
+        assert!(report.files_processed >= 6);
+        let crash_sigs: Vec<&str> = report
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::Crash)
+            .map(|f| f.signature.as_str())
+            .collect();
+        assert!(
+            crash_sigs.iter().any(|s| s.contains("operand_equal_p")),
+            "Figure 3 crash found: {crash_sigs:?}"
+        );
+    }
+
+    #[test]
+    fn finds_the_figure2_miscompilation() {
+        let report = seed_campaign(true);
+        let wrong: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.kind == FindingKind::WrongCode)
+            .collect();
+        assert!(
+            wrong.iter().any(|f| f.bug_id == Some("gcc-69951")),
+            "alias miscompilation found: {:?}",
+            wrong.iter().map(|f| &f.signature).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn signatures_are_deduplicated() {
+        let report = seed_campaign(false);
+        let mut sigs: Vec<(String, String)> = report
+            .findings
+            .iter()
+            .map(|f| (f.compiler.family.to_string(), f.signature.clone()))
+            .collect();
+        let before = sigs.len();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(before, sigs.len(), "duplicate signatures in findings");
+    }
+
+    #[test]
+    fn ub_variants_are_skipped_not_reported() {
+        // A skeleton whose variants frequently divide by zero or read
+        // uninitialized memory: variants must be filtered, not flagged.
+        let files = vec![TestFile {
+            name: "ub.c".into(),
+            source: "int main() { int a = 0, b = 4; b = b / (a + b); return b; }".into(),
+        }];
+        let report = run_campaign(
+            &files,
+            &CampaignConfig {
+                compilers: vec![Compiler::new(CompilerId::gcc(440), 1)],
+                budget: 100,
+                algorithm: Algorithm::Paper,
+                check_wrong_code: true,
+                fuel: 10_000,
+            },
+        );
+        // gcc-440 at -O1 has the alias bug only; this program has no
+        // pointers, so any mismatch would be a false positive.
+        assert!(
+            report
+                .findings
+                .iter()
+                .all(|f| f.kind != FindingKind::WrongCode),
+            "false positives: {:?}",
+            report.findings
+        );
+        assert!(report.variants_ub_skipped > 0, "some variants divide by zero");
+    }
+
+    #[test]
+    fn stable_release_campaign_finds_fewer_bugs_than_trunk() {
+        let files = seeds::all();
+        let run_with = |version: u32| {
+            run_campaign(
+                &files,
+                &CampaignConfig {
+                    compilers: vec![
+                        Compiler::new(CompilerId::gcc(version), 0),
+                        Compiler::new(CompilerId::gcc(version), 3),
+                    ],
+                    budget: 150,
+                    algorithm: Algorithm::Paper,
+                    check_wrong_code: false,
+                    fuel: 10_000,
+                },
+            )
+        };
+        let old = run_with(440);
+        let trunk = run_with(700);
+        assert!(
+            trunk.findings.len() >= old.findings.len(),
+            "trunk has at least as many live seeded bugs ({} vs {})",
+            trunk.findings.len(),
+            old.findings.len()
+        );
+    }
+}

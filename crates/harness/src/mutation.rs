@@ -1,0 +1,166 @@
+//! Orion-style program mutation baseline (the PM-X series of Figure 9).
+//!
+//! Orion deletes statements from unexecuted regions of a seed program.
+//! This implementation approximates it by deleting randomly chosen
+//! side-effect-only statements (expression statements), which always
+//! preserves compilability; semantic preservation is irrelevant for the
+//! coverage comparison the baseline is used in.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use spe_minic::ast::{Program, Stmt};
+
+/// Generates up to `n_variants` mutants of `src`, each deleting up to
+/// `delete` expression statements. Returns fewer variants when the
+/// program has no deletable statements.
+///
+/// # Examples
+///
+/// ```
+/// let vs = spe_harness::mutation::pm_variants(
+///     "int a; int main() { a = 1; a = 2; a = 3; return a; }", 1, 4, 7);
+/// assert!(!vs.is_empty());
+/// for v in &vs {
+///     spe_minic::parse(v).expect("mutants stay parseable");
+/// }
+/// ```
+pub fn pm_variants(src: &str, delete: usize, n_variants: usize, seed: u64) -> Vec<String> {
+    let Ok(prog) = spe_minic::parse(src) else {
+        return Vec::new();
+    };
+    let total = count_deletable(&prog);
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..n_variants * 3 {
+        if out.len() >= n_variants {
+            break;
+        }
+        let k = delete.min(total).max(1);
+        let mut chosen: Vec<usize> = (0..total).collect();
+        // Partial Fisher-Yates to pick k distinct statement indices.
+        for i in 0..k {
+            let j = rng.gen_range(i..total);
+            chosen.swap(i, j);
+        }
+        let mut kill: Vec<usize> = chosen[..k].to_vec();
+        kill.sort_unstable();
+        let mutated = delete_statements(&prog, &kill);
+        let text = spe_minic::print_program(&mutated);
+        if seen.insert(text.clone()) {
+            out.push(text);
+        }
+    }
+    out
+}
+
+fn count_deletable(p: &Program) -> usize {
+    let mut n = 0;
+    for f in p.functions() {
+        for s in &f.body {
+            count_stmt(s, &mut n);
+        }
+    }
+    n
+}
+
+fn count_stmt(s: &Stmt, n: &mut usize) {
+    match s {
+        Stmt::Expr(_) => *n += 1,
+        Stmt::Block(b) => b.iter().for_each(|s| count_stmt(s, n)),
+        Stmt::If(_, t, e) => {
+            count_stmt(t, n);
+            if let Some(e) = e {
+                count_stmt(e, n);
+            }
+        }
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) | Stmt::For(_, _, _, b) => count_stmt(b, n),
+        Stmt::Label(_, inner) => count_stmt(inner, n),
+        _ => {}
+    }
+}
+
+fn delete_statements(p: &Program, kill: &[usize]) -> Program {
+    let mut counter = 0usize;
+    let mut prog = p.clone();
+    for item in &mut prog.items {
+        if let spe_minic::ast::Item::Func(f) = item {
+            f.body = f
+                .body
+                .iter()
+                .map(|s| rewrite(s, kill, &mut counter))
+                .collect();
+        }
+    }
+    prog
+}
+
+fn rewrite(s: &Stmt, kill: &[usize], counter: &mut usize) -> Stmt {
+    match s {
+        Stmt::Expr(_) => {
+            let idx = *counter;
+            *counter += 1;
+            if kill.contains(&idx) {
+                Stmt::Empty
+            } else {
+                s.clone()
+            }
+        }
+        Stmt::Block(b) => Stmt::Block(b.iter().map(|s| rewrite(s, kill, counter)).collect()),
+        Stmt::If(c, t, e) => Stmt::If(
+            c.clone(),
+            Box::new(rewrite(t, kill, counter)),
+            e.as_ref().map(|e| Box::new(rewrite(e, kill, counter))),
+        ),
+        Stmt::While(c, b) => Stmt::While(c.clone(), Box::new(rewrite(b, kill, counter))),
+        Stmt::DoWhile(b, c) => Stmt::DoWhile(Box::new(rewrite(b, kill, counter)), c.clone()),
+        Stmt::For(i, c, st, b) => Stmt::For(
+            i.clone(),
+            c.clone(),
+            st.clone(),
+            Box::new(rewrite(b, kill, counter)),
+        ),
+        Stmt::Label(l, inner) => Stmt::Label(l.clone(), Box::new(rewrite(inner, kill, counter))),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "int a, b; int main() { a = 1; b = 2; a = a + b; if (a) { b = 3; } return a; }";
+
+    #[test]
+    fn mutants_parse_and_differ() {
+        let vs = pm_variants(SRC, 2, 5, 42);
+        assert!(!vs.is_empty());
+        let original = spe_minic::print_program(&spe_minic::parse(SRC).expect("parses"));
+        for v in &vs {
+            spe_minic::parse(v).expect("mutant parses");
+            assert_ne!(*v, original, "mutant must differ");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(pm_variants(SRC, 2, 5, 1), pm_variants(SRC, 2, 5, 1));
+    }
+
+    #[test]
+    fn no_deletable_statements_yields_nothing() {
+        let vs = pm_variants("int main() { return 0; }", 3, 5, 1);
+        assert!(vs.is_empty());
+    }
+
+    #[test]
+    fn deeper_deletion_removes_more() {
+        let one = pm_variants(SRC, 1, 1, 9);
+        let many = pm_variants(SRC, 4, 1, 9);
+        assert!(!one.is_empty() && !many.is_empty());
+        assert!(many[0].matches(';').count() <= one[0].matches(';').count());
+    }
+}

@@ -1,0 +1,502 @@
+//! Abstract syntax tree for the mini-C language.
+//!
+//! The subset covers everything appearing in the SPE paper's figures:
+//! global/local declarations with initializers, pointers, arrays, structs,
+//! functions, `if`/`while`/`for`/`do`/`goto`/labels, the conditional
+//! operator, calls, and compound assignment. Every *use* of a variable is
+//! an [`ExprKind::Ident`] carrying a unique [`OccId`] — the raw material
+//! for skeleton extraction.
+
+use std::fmt;
+
+/// Unique id of a variable occurrence (use site), assigned by the parser
+/// in source order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OccId(pub u32);
+
+/// Unique id of an expression node, assigned by the parser in source
+/// order. Used by the compiler under test for coverage accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// Base (non-derived) types of mini-C.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// `void` (function returns only).
+    Void,
+    /// `char`.
+    Char,
+    /// `int`.
+    Int,
+    /// `unsigned` / `unsigned int`.
+    UInt,
+    /// `long` / `long int` / `long long`.
+    Long,
+    /// `float`.
+    Float,
+    /// `double`.
+    Double,
+    /// `struct <name>`.
+    Struct(String),
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaseType::Void => f.write_str("void"),
+            BaseType::Char => f.write_str("char"),
+            BaseType::Int => f.write_str("int"),
+            BaseType::UInt => f.write_str("unsigned"),
+            BaseType::Long => f.write_str("long"),
+            BaseType::Float => f.write_str("float"),
+            BaseType::Double => f.write_str("double"),
+            BaseType::Struct(n) => write!(f, "struct {n}"),
+        }
+    }
+}
+
+/// A (possibly derived) mini-C type: base type, pointer depth and an
+/// optional outermost array dimension.
+///
+/// ```
+/// use spe_minic::ast::{BaseType, Type};
+/// let t = Type { base: BaseType::Int, pointers: 1, array: Some(4) };
+/// assert_eq!(t.to_string(), "int *[4]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Type {
+    /// The base type.
+    pub base: BaseType,
+    /// Number of `*`s.
+    pub pointers: u8,
+    /// Array length for `T x[N]`.
+    pub array: Option<u64>,
+}
+
+impl Type {
+    /// A plain scalar of the given base type.
+    pub fn scalar(base: BaseType) -> Type {
+        Type {
+            base,
+            pointers: 0,
+            array: None,
+        }
+    }
+
+    /// Plain `int`.
+    pub fn int() -> Type {
+        Type::scalar(BaseType::Int)
+    }
+
+    /// Whether two types are interchangeable for compact α-renaming
+    /// (§3.2.2): identical base, pointer depth and array-ness. Array
+    /// lengths must match as well — swapping differently-sized arrays
+    /// changes semantics.
+    pub fn renaming_compatible(&self, other: &Type) -> bool {
+        self == other
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        if self.pointers > 0 {
+            write!(f, " {}", "*".repeat(self.pointers as usize))?;
+        }
+        if let Some(n) = self.array {
+            write!(f, "[{n}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Unary prefix operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+    /// `~x`
+    BitNot,
+    /// `*p`
+    Deref,
+    /// `&x`
+    Addr,
+    /// `++x`
+    PreInc,
+    /// `--x`
+    PreDec,
+}
+
+impl UnaryOp {
+    /// Source form of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UnaryOp::Neg => "-",
+            UnaryOp::Not => "!",
+            UnaryOp::BitNot => "~",
+            UnaryOp::Deref => "*",
+            UnaryOp::Addr => "&",
+            UnaryOp::PreInc => "++",
+            UnaryOp::PreDec => "--",
+        }
+    }
+}
+
+/// Postfix `++`/`--`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PostOp {
+    /// `x++`
+    Inc,
+    /// `x--`
+    Dec,
+}
+
+impl PostOp {
+    /// Source form of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PostOp::Inc => "++",
+            PostOp::Dec => "--",
+        }
+    }
+}
+
+/// Binary operators in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `||`
+    LogOr,
+    /// `&&`
+    LogAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&`
+    BitAnd,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinaryOp {
+    /// Source form of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BinaryOp::LogOr => "||",
+            BinaryOp::LogAnd => "&&",
+            BinaryOp::BitOr => "|",
+            BinaryOp::BitXor => "^",
+            BinaryOp::BitAnd => "&",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Gt => ">",
+            BinaryOp::Le => "<=",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Shl => "<<",
+            BinaryOp::Shr => ">>",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+        }
+    }
+
+    /// Precedence level; higher binds tighter.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinaryOp::LogOr => 1,
+            BinaryOp::LogAnd => 2,
+            BinaryOp::BitOr => 3,
+            BinaryOp::BitXor => 4,
+            BinaryOp::BitAnd => 5,
+            BinaryOp::Eq | BinaryOp::Ne => 6,
+            BinaryOp::Lt | BinaryOp::Gt | BinaryOp::Le | BinaryOp::Ge => 7,
+            BinaryOp::Shl | BinaryOp::Shr => 8,
+            BinaryOp::Add | BinaryOp::Sub => 9,
+            BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem => 10,
+        }
+    }
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Assign,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+    /// `%=`
+    Rem,
+}
+
+impl AssignOp {
+    /// Source form of the operator.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AssignOp::Assign => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Mul => "*=",
+            AssignOp::Div => "/=",
+            AssignOp::Rem => "%=",
+        }
+    }
+
+    /// The compound operator's underlying binary operation, if any.
+    pub fn binary(self) -> Option<BinaryOp> {
+        match self {
+            AssignOp::Assign => None,
+            AssignOp::Add => Some(BinaryOp::Add),
+            AssignOp::Sub => Some(BinaryOp::Sub),
+            AssignOp::Mul => Some(BinaryOp::Mul),
+            AssignOp::Div => Some(BinaryOp::Div),
+            AssignOp::Rem => Some(BinaryOp::Rem),
+        }
+    }
+}
+
+/// A variable use site: the name as written plus its occurrence id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ident {
+    /// Source name.
+    pub name: String,
+    /// Unique occurrence id (a hole candidate).
+    pub occ: OccId,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique node id.
+    pub id: ExprId,
+    /// The expression's form.
+    pub kind: ExprKind,
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Character literal (stored as its code point).
+    CharLit(u8),
+    /// String literal (escaped form without quotes).
+    StrLit(String),
+    /// Variable use.
+    Ident(Ident),
+    /// Prefix unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Postfix `++`/`--`.
+    Post(PostOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    /// Assignment (left-hand side must be an lvalue).
+    Assign(AssignOp, Box<Expr>, Box<Expr>),
+    /// `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Direct function call.
+    Call(String, Vec<Expr>),
+    /// `a[i]`.
+    Index(Box<Expr>, Box<Expr>),
+    /// `s.f` (`arrow = false`) or `p->f` (`arrow = true`).
+    Member(Box<Expr>, String, bool),
+    /// `(T) e`.
+    Cast(Type, Box<Expr>),
+    /// Comma expression `a, b`.
+    Comma(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Visits every variable use site in evaluation order.
+    pub fn for_each_ident<'a, F: FnMut(&'a Ident)>(&'a self, f: &mut F) {
+        match &self.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) => {}
+            ExprKind::Ident(id) => f(id),
+            ExprKind::Unary(_, e) | ExprKind::Post(_, e) | ExprKind::Cast(_, e) => {
+                e.for_each_ident(f)
+            }
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Assign(_, a, b)
+            | ExprKind::Index(a, b)
+            | ExprKind::Comma(a, b) => {
+                a.for_each_ident(f);
+                b.for_each_ident(f);
+            }
+            ExprKind::Ternary(c, t, e) => {
+                c.for_each_ident(f);
+                t.for_each_ident(f);
+                e.for_each_ident(f);
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    a.for_each_ident(f);
+                }
+            }
+            ExprKind::Member(e, _, _) => e.for_each_ident(f),
+        }
+    }
+}
+
+/// One declarator in a declaration: `int a = 1, *p;` has two.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDeclarator {
+    /// Declared name.
+    pub name: String,
+    /// Full type (base type of the declaration plus per-declarator
+    /// pointers/array).
+    pub ty: Type,
+    /// Optional initializer.
+    pub init: Option<Expr>,
+}
+
+/// Loop initialization clause of a `for` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForInit {
+    /// `for (int i = 0; …)`.
+    Decl(Vec<VarDeclarator>),
+    /// `for (i = 0; …)`.
+    Expr(Expr),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration.
+    Decl(Vec<VarDeclarator>),
+    /// `{ … }` — introduces a scope.
+    Block(Vec<Stmt>),
+    /// `if (c) t [else e]`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (c) body`.
+    While(Expr, Box<Stmt>),
+    /// `do body while (c);`.
+    DoWhile(Box<Stmt>, Expr),
+    /// `for (init; cond; step) body` — introduces a scope for `init`.
+    For(Option<ForInit>, Option<Expr>, Option<Expr>, Box<Stmt>),
+    /// `return [e];`.
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `goto label;`
+    Goto(String),
+    /// `label: stmt`.
+    Label(String, Box<Stmt>),
+    /// `;`
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: Type,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Body statements (the body's braces introduce the function scope).
+    pub body: Vec<Stmt>,
+    /// Whether declared `static`.
+    pub is_static: bool,
+}
+
+/// A struct definition `struct S { … };`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructDef {
+    /// Struct tag.
+    pub name: String,
+    /// Field declarations.
+    pub fields: Vec<VarDeclarator>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// Global variable declaration.
+    Global(Vec<VarDeclarator>),
+    /// Function definition.
+    Func(Function),
+    /// Struct definition.
+    Struct(StructDef),
+}
+
+/// A complete translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+    /// Number of occurrence ids handed out (all `OccId`s are `< max_occ`).
+    pub max_occ: u32,
+    /// Number of expression ids handed out.
+    pub max_expr: u32,
+}
+
+impl Program {
+    /// Iterates over the function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &Function> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions().find(|f| f.name == name)
+    }
+
+    /// Looks up a struct definition by tag.
+    pub fn struct_def(&self, name: &str) -> Option<&StructDef> {
+        self.items.iter().find_map(|i| match i {
+            Item::Struct(s) if s.name == name => Some(s),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,497 @@
+//! Pretty-printer for mini-C, with optional occurrence renaming.
+//!
+//! Printing with a rename map is how skeleton variants are *realized*:
+//! every variable use site ([`crate::ast::OccId`]) can be redirected to a
+//! different (visible, type-compatible) variable name while declarations
+//! stay fixed.
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// Prints a program back to compilable mini-C source.
+///
+/// # Examples
+///
+/// ```
+/// let src = "int a, b = 1;\nint main() {\n    b = b - a;\n    return 0;\n}\n";
+/// let prog = spe_minic::parse(src).unwrap();
+/// let printed = spe_minic::print_program(&prog);
+/// let reparsed = spe_minic::parse(&printed).unwrap();
+/// assert_eq!(spe_minic::print_program(&reparsed), printed); // fixpoint
+/// ```
+pub fn print_program(p: &Program) -> String {
+    print_renamed(p, &HashMap::new())
+}
+
+/// Prints a program, substituting the name of every occurrence present in
+/// `rename`. Occurrences not in the map keep their original names.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use spe_minic::ast::OccId;
+///
+/// let prog = spe_minic::parse("int a, b; void f() { a = b; }").unwrap();
+/// let mut rename = HashMap::new();
+/// rename.insert(OccId(0), "b".to_string()); // first use site: a -> b
+/// let out = spe_minic::print_renamed(&prog, &rename);
+/// assert!(out.contains("b = b;"));
+/// ```
+pub fn print_renamed(p: &Program, rename: &HashMap<OccId, String>) -> String {
+    let mut pr = Printer {
+        out: String::new(),
+        indent: 0,
+        rename,
+    };
+    for item in &p.items {
+        pr.item(item);
+    }
+    pr.out
+}
+
+struct Printer<'a> {
+    out: String,
+    indent: usize,
+    rename: &'a HashMap<OccId, String>,
+}
+
+impl Printer<'_> {
+    fn pad(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn item(&mut self, item: &Item) {
+        match item {
+            Item::Global(decls) => {
+                self.decl_line(decls);
+                self.out.push('\n');
+            }
+            Item::Struct(s) => {
+                self.out.push_str(&format!("struct {} {{\n", s.name));
+                self.indent += 1;
+                for f in &s.fields {
+                    self.pad();
+                    self.declarator_full(f);
+                    self.out.push_str(";\n");
+                }
+                self.indent -= 1;
+                self.out.push_str("};\n");
+            }
+            Item::Func(f) => {
+                if f.is_static {
+                    self.out.push_str("static ");
+                }
+                self.out.push_str(&base_of(&f.ret));
+                self.out.push(' ');
+                self.out.push_str(&"*".repeat(f.ret.pointers as usize));
+                self.out.push_str(&f.name);
+                self.out.push('(');
+                if f.params.is_empty() {
+                    self.out.push_str("void");
+                } else {
+                    for (i, p) in f.params.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.out.push_str(&base_of(&p.ty));
+                        self.out.push(' ');
+                        self.out.push_str(&"*".repeat(p.ty.pointers as usize));
+                        self.out.push_str(&p.name);
+                        if let Some(n) = p.ty.array {
+                            self.out.push_str(&format!("[{n}]"));
+                        }
+                    }
+                }
+                self.out.push_str(") {\n");
+                self.indent += 1;
+                for s in &f.body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.out.push_str("}\n");
+            }
+        }
+    }
+
+    fn decl_line(&mut self, decls: &[VarDeclarator]) {
+        debug_assert!(!decls.is_empty(), "empty declaration");
+        self.out.push_str(&base_of(&decls[0].ty));
+        self.out.push(' ');
+        for (i, d) in decls.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&"*".repeat(d.ty.pointers as usize));
+            self.out.push_str(&d.name);
+            if let Some(n) = d.ty.array {
+                self.out.push_str(&format!("[{n}]"));
+            }
+            if let Some(init) = &d.init {
+                self.out.push_str(" = ");
+                self.expr(init, 1);
+            }
+        }
+        self.out.push(';');
+    }
+
+    fn declarator_full(&mut self, d: &VarDeclarator) {
+        self.out.push_str(&base_of(&d.ty));
+        self.out.push(' ');
+        self.out.push_str(&"*".repeat(d.ty.pointers as usize));
+        self.out.push_str(&d.name);
+        if let Some(n) = d.ty.array {
+            self.out.push_str(&format!("[{n}]"));
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Expr(e) => {
+                self.pad();
+                self.expr(e, 0);
+                self.out.push_str(";\n");
+            }
+            Stmt::Decl(decls) => {
+                self.pad();
+                self.decl_line(decls);
+                self.out.push('\n');
+            }
+            Stmt::Block(body) => {
+                self.pad();
+                self.out.push_str("{\n");
+                self.indent += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.indent -= 1;
+                self.pad();
+                self.out.push_str("}\n");
+            }
+            Stmt::If(c, t, e) => {
+                self.pad();
+                self.out.push_str("if (");
+                self.expr(c, 0);
+                self.out.push_str(")\n");
+                self.nested(t);
+                if let Some(e) = e {
+                    self.pad();
+                    self.out.push_str("else\n");
+                    self.nested(e);
+                }
+            }
+            Stmt::While(c, b) => {
+                self.pad();
+                self.out.push_str("while (");
+                self.expr(c, 0);
+                self.out.push_str(")\n");
+                self.nested(b);
+            }
+            Stmt::DoWhile(b, c) => {
+                self.pad();
+                self.out.push_str("do\n");
+                self.nested(b);
+                self.pad();
+                self.out.push_str("while (");
+                self.expr(c, 0);
+                self.out.push_str(");\n");
+            }
+            Stmt::For(init, cond, step, b) => {
+                self.pad();
+                self.out.push_str("for (");
+                match init {
+                    Some(ForInit::Decl(d)) => self.decl_line(d),
+                    Some(ForInit::Expr(e)) => {
+                        self.expr(e, 0);
+                        self.out.push(';');
+                    }
+                    None => self.out.push(';'),
+                }
+                if let Some(c) = cond {
+                    self.out.push(' ');
+                    self.expr(c, 0);
+                }
+                self.out.push(';');
+                if let Some(st) = step {
+                    self.out.push(' ');
+                    self.expr(st, 0);
+                }
+                self.out.push_str(")\n");
+                self.nested(b);
+            }
+            Stmt::Return(e) => {
+                self.pad();
+                match e {
+                    Some(e) => {
+                        self.out.push_str("return ");
+                        self.expr(e, 0);
+                        self.out.push_str(";\n");
+                    }
+                    None => self.out.push_str("return;\n"),
+                }
+            }
+            Stmt::Break => {
+                self.pad();
+                self.out.push_str("break;\n");
+            }
+            Stmt::Continue => {
+                self.pad();
+                self.out.push_str("continue;\n");
+            }
+            Stmt::Goto(l) => {
+                self.pad();
+                self.out.push_str(&format!("goto {l};\n"));
+            }
+            Stmt::Label(l, inner) => {
+                self.pad();
+                self.out.push_str(&format!("{l}:\n"));
+                self.stmt(inner);
+            }
+            Stmt::Empty => {
+                self.pad();
+                self.out.push_str(";\n");
+            }
+        }
+    }
+
+    /// Prints a nested statement, indenting single statements and keeping
+    /// blocks at the same level.
+    fn nested(&mut self, s: &Stmt) {
+        if matches!(s, Stmt::Block(_)) {
+            self.stmt(s);
+        } else {
+            self.indent += 1;
+            self.stmt(s);
+            self.indent -= 1;
+        }
+    }
+
+    /// Precedence levels: 0 comma, 1 assignment, 2 ternary, 3..=12 binary
+    /// (BinaryOp precedence + 2), 13 unary/cast, 14 postfix, 15 primary.
+    fn expr(&mut self, e: &Expr, min_prec: u8) {
+        let prec = expr_prec(e);
+        let parens = prec < min_prec;
+        if parens {
+            self.out.push('(');
+        }
+        match &e.kind {
+            ExprKind::IntLit(v) => self.out.push_str(&v.to_string()),
+            ExprKind::CharLit(c) => self.out.push_str(&format!("'{}'", escape_char(*c))),
+            ExprKind::StrLit(s) => self.out.push_str(&format!("\"{s}\"")),
+            ExprKind::Ident(id) => {
+                let name = self.rename.get(&id.occ).unwrap_or(&id.name);
+                self.out.push_str(name);
+            }
+            ExprKind::Unary(op, inner) => {
+                self.out.push_str(op.as_str());
+                // Avoid `- -x` printing as `--x` and `& &x` as `&&x`.
+                if merges(op.as_str(), inner) {
+                    self.out.push(' ');
+                }
+                self.expr(inner, 13);
+            }
+            ExprKind::Post(op, inner) => {
+                self.expr(inner, 14);
+                self.out.push_str(op.as_str());
+            }
+            ExprKind::Binary(op, a, b) => {
+                let p = op.precedence() + 2;
+                self.expr(a, p);
+                self.out.push_str(&format!(" {} ", op.as_str()));
+                self.expr(b, p + 1);
+            }
+            ExprKind::Assign(op, a, b) => {
+                self.expr(a, 13);
+                self.out.push_str(&format!(" {} ", op.as_str()));
+                self.expr(b, 1);
+            }
+            ExprKind::Ternary(c, t, els) => {
+                self.expr(c, 3);
+                self.out.push_str(" ? ");
+                self.expr(t, 0);
+                self.out.push_str(" : ");
+                self.expr(els, 2);
+            }
+            ExprKind::Call(name, args) => {
+                if name == "__init_list" {
+                    self.out.push('{');
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.expr(a, 1);
+                    }
+                    self.out.push('}');
+                } else {
+                    self.out.push_str(name);
+                    self.out.push('(');
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.expr(a, 1);
+                    }
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Index(a, i) => {
+                self.expr(a, 14);
+                self.out.push('[');
+                self.expr(i, 0);
+                self.out.push(']');
+            }
+            ExprKind::Member(a, field, arrow) => {
+                self.expr(a, 14);
+                self.out.push_str(if *arrow { "->" } else { "." });
+                self.out.push_str(field);
+            }
+            ExprKind::Cast(ty, inner) => {
+                self.out.push('(');
+                self.out.push_str(&base_of(ty));
+                if ty.pointers > 0 {
+                    self.out.push(' ');
+                    self.out.push_str(&"*".repeat(ty.pointers as usize));
+                }
+                self.out.push(')');
+                self.expr(inner, 13);
+            }
+            ExprKind::Comma(a, b) => {
+                self.expr(a, 1);
+                self.out.push_str(", ");
+                self.expr(b, 1);
+            }
+        }
+        if parens {
+            self.out.push(')');
+        }
+    }
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match &e.kind {
+        ExprKind::Comma(_, _) => 0,
+        ExprKind::Assign(_, _, _) => 1,
+        ExprKind::Ternary(_, _, _) => 2,
+        ExprKind::Binary(op, _, _) => op.precedence() + 2,
+        ExprKind::Unary(_, _) | ExprKind::Cast(_, _) => 13,
+        ExprKind::Post(_, _)
+        | ExprKind::Call(_, _)
+        | ExprKind::Index(_, _)
+        | ExprKind::Member(_, _, _) => 14,
+        ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) | ExprKind::Ident(_) => 15,
+    }
+}
+
+fn merges(op: &str, inner: &Expr) -> bool {
+    match &inner.kind {
+        ExprKind::Unary(i, _) => {
+            let i = i.as_str();
+            (op == "-" && (i == "-" || i == "--"))
+                || (op == "&" && i == "&")
+                || (op == "*" && i == "*")
+                || (op == "+" && i == "+")
+        }
+        ExprKind::IntLit(v) => op == "-" && *v < 0,
+        _ => false,
+    }
+}
+
+fn escape_char(c: u8) -> String {
+    match c {
+        b'\n' => "\\n".into(),
+        b'\t' => "\\t".into(),
+        b'\r' => "\\r".into(),
+        0 => "\\0".into(),
+        b'\\' => "\\\\".into(),
+        b'\'' => "\\'".into(),
+        c if c.is_ascii_graphic() || c == b' ' => (c as char).to_string(),
+        c => format!("\\x{c:02x}"),
+    }
+}
+
+fn base_of(ty: &Type) -> String {
+    ty.base.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).expect("first parse");
+        let s1 = print_program(&p1);
+        let p2 = parse(&s1).unwrap_or_else(|e| panic!("reparse failed: {e}\n{s1}"));
+        let s2 = print_program(&p2);
+        assert_eq!(s1, s2, "printer not a fixpoint for:\n{src}");
+    }
+
+    #[test]
+    fn roundtrips_paper_programs() {
+        roundtrip("int a, b = 1; int main() { b = b - a; if (a) a = a - b; return 0; }");
+        roundtrip(
+            "int a = 0; int main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }",
+        );
+        roundtrip(
+            "struct s { char c[1]; }; struct s a, b, c; int d; int e; \
+             void bar(void) { e ? (d==0 ? b : c).c : (d==0 ? b : c).c; }",
+        );
+        roundtrip(
+            "int main() { int *p = 0; trick: if (p) return *p; int x = 0; p = &x; goto trick; return 0; }",
+        );
+        roundtrip(
+            "double u[1782225]; int a, b, d, e; static void foo(int *p1) { double c = 0.0; \
+             for (; a < 1335; a++) { b = 0; for (; b < 1335; b++) c = c + u[a + 1335 * a]; \
+             u[1336 * a] *= 2; } *p1 = c; } int main() { return 0; }"
+                .replace("0.0", "0")
+                .as_str(),
+        );
+    }
+
+    #[test]
+    fn roundtrips_control_flow() {
+        roundtrip("int i; void f() { do { i++; } while (i < 3); for (int j = 0; j < 4; j++) i += j; }");
+        roundtrip("int x; void f() { while (x) if (x > 2) break; else continue; }");
+    }
+
+    #[test]
+    fn roundtrips_expressions() {
+        roundtrip("int a, b, c; void f() { a = b + c * a - (b - c); }");
+        roundtrip("int a, b; void f() { a = b << 2 | a >> 1 & 3; }");
+        roundtrip("int a, b; void f() { a = a && b || !a; }");
+        roundtrip("int a; int *p; void f() { *p = -a; p = &a; a = *p + ~a; }");
+        roundtrip("int a, b; void f() { a = b ? a : b; a = (a, b); }");
+        roundtrip("int a; void f() { a = (int) 'x'; a++; --a; }");
+        roundtrip("int u[3]; int a; void f() { u[a + 1] = u[0]; }");
+    }
+
+    #[test]
+    fn negative_literals_do_not_merge() {
+        let p = parse("int a; void f() { a = -1; a = - -a; }").expect("parses");
+        let s = print_program(&p);
+        assert!(!s.contains("--"), "merged unary minuses: {s}");
+        roundtrip(&s);
+    }
+
+    #[test]
+    fn rename_map_changes_use_sites_only() {
+        let p = parse("int a, b; void f() { a = b + a; }").expect("parses");
+        // Occurrences in order: a(0), b(1), a(2).
+        let mut map = HashMap::new();
+        map.insert(OccId(1), "a".to_string());
+        map.insert(OccId(2), "b".to_string());
+        let s = print_renamed(&p, &map);
+        assert!(s.contains("a = a + b;"), "got: {s}");
+        assert!(s.contains("int a, b;"), "declarations must not change: {s}");
+    }
+
+    #[test]
+    fn prints_brace_initializers() {
+        roundtrip("int c[2] = {0, 1}; int d = 0;");
+    }
+
+    #[test]
+    fn printed_ternary_member_is_parenthesized() {
+        roundtrip("struct s { char c[1]; }; struct s b, c; int d; void f() { (d == 0 ? b : c).c; }");
+    }
+}

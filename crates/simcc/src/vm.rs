@@ -1,0 +1,1079 @@
+//! Backend of the simulated compiler: lowering to a stack bytecode and
+//! the virtual machine executing it.
+//!
+//! The machine models the *target*: arithmetic wraps like hardware,
+//! uninitialized stack cells contain a canary value (so defects that drop
+//! initializers become observable), and memory is a flat `i64` array
+//! addressed by absolute cell index (pointers are plain addresses).
+
+use spe_minic::ast::*;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Canary filling fresh stack frames; distinguishable from the zeroed
+/// globals and from common small constants.
+pub const STACK_CANARY: i64 = 90;
+
+/// Bytecode instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Push a constant.
+    Push(i64),
+    /// Push the absolute address `fp + offset`.
+    AddrLocal(i64),
+    /// Push the absolute address of a global cell.
+    AddrGlobal(i64),
+    /// Pop an address, push the cell's value.
+    LoadInd,
+    /// Pop value then address, store value.
+    StoreInd,
+    /// Like [`Instr::StoreInd`] but leaves the value on the stack
+    /// (assignment expressions have values).
+    StoreIndPush,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Binary arithmetic on the two top values.
+    Bin(BinaryOp),
+    /// Unary operation on the top value.
+    Un(UnaryOp),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Pop; jump if zero.
+    Jz(usize),
+    /// Pop; jump if non-zero.
+    Jnz(usize),
+    /// Call function `idx` with `nargs` stacked arguments.
+    Call { func: usize, nargs: usize },
+    /// Return with the top of stack as the value.
+    Ret,
+    /// Pop `nargs` values and emit formatted output.
+    Print { fmt: String, nargs: usize },
+    /// Stop (after `main`).
+    Halt,
+}
+
+/// A compiled function.
+#[derive(Debug, Clone)]
+pub struct FuncInfo {
+    /// Name (for diagnostics).
+    pub name: String,
+    /// Entry program counter.
+    pub entry: usize,
+    /// Number of parameters.
+    pub nparams: usize,
+    /// Frame size in cells (params first).
+    pub frame: usize,
+}
+
+/// A fully lowered program image.
+#[derive(Debug, Clone)]
+pub struct Image {
+    /// Flat instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Function table.
+    pub funcs: Vec<FuncInfo>,
+    /// Initial global memory (cell values).
+    pub globals: Vec<i64>,
+    /// Index of `main` in [`Self::funcs`].
+    pub main: usize,
+}
+
+/// Errors produced by lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Runtime traps (a trap on a UB-free input indicates a miscompile).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// Address outside memory.
+    BadAddress(i64),
+    /// Division by zero.
+    DivByZero,
+    /// Fuel exhausted.
+    Timeout,
+    /// Value stack underflow (would be a codegen bug).
+    StackUnderflow,
+    /// Call stack too deep.
+    StackOverflow,
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::BadAddress(a) => write!(f, "trap: bad address {a}"),
+            Trap::DivByZero => f.write_str("trap: division by zero"),
+            Trap::Timeout => f.write_str("trap: timeout"),
+            Trap::StackUnderflow => f.write_str("trap: stack underflow"),
+            Trap::StackOverflow => f.write_str("trap: call stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// Result of running an image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmExecution {
+    /// `main`'s return value masked to 8 bits.
+    pub exit_code: i64,
+    /// Output of `printf` calls.
+    pub output: Vec<String>,
+}
+
+// ----- lowering -------------------------------------------------------------
+
+struct FnLower<'a> {
+    instrs: &'a mut Vec<Instr>,
+    /// name -> (is_global, base address/offset, cells)
+    scopes: Vec<HashMap<String, (bool, i64, usize)>>,
+    globals: &'a HashMap<String, (i64, usize)>,
+    func_ids: &'a HashMap<String, usize>,
+    next_local: i64,
+    max_frame: i64,
+    labels: HashMap<String, usize>,
+    goto_patches: Vec<(usize, String)>,
+    break_patches: Vec<Vec<usize>>,
+    continue_targets: Vec<ContinueTarget>,
+}
+
+enum ContinueTarget {
+    /// Jump directly to this pc.
+    Pc(usize),
+    /// Patch later (for `for` steps lowered after the body).
+    Pending(Vec<usize>),
+}
+
+/// Lowers a (post-optimization) program to an [`Image`].
+///
+/// # Errors
+///
+/// Returns [`LowerError`] for constructs outside the executable subset
+/// (structs, unknown functions in initializers, etc.).
+pub fn lower(p: &Program) -> Result<Image, LowerError> {
+    if p.items.iter().any(|i| matches!(i, Item::Struct(_))) {
+        return Err(LowerError("struct definitions are not lowerable".into()));
+    }
+    // Allocate globals.
+    let mut globals_layout: HashMap<String, (i64, usize)> = HashMap::new();
+    let mut gmem: Vec<i64> = Vec::new();
+    for item in &p.items {
+        if let Item::Global(decls) = item {
+            for d in decls {
+                if matches!(d.ty.base, BaseType::Struct(_)) && d.ty.pointers == 0 {
+                    return Err(LowerError(format!("struct global `{}`", d.name)));
+                }
+                let n = d.ty.array.map(|n| n.max(1) as usize).unwrap_or(1);
+                if n > 1 << 20 {
+                    return Err(LowerError(format!("array `{}` too large", d.name)));
+                }
+                globals_layout.insert(d.name.clone(), (gmem.len() as i64, n));
+                gmem.extend(std::iter::repeat(0).take(n));
+            }
+        }
+    }
+    // Global initializers must be compile-time constants (or addresses).
+    for item in &p.items {
+        if let Item::Global(decls) = item {
+            for d in decls {
+                if let Some(init) = &d.init {
+                    let (base, cells) = globals_layout[&d.name];
+                    init_global(init, base, cells, &globals_layout, &mut gmem)?;
+                }
+            }
+        }
+    }
+    let func_ids: HashMap<String, usize> = p
+        .functions()
+        .enumerate()
+        .map(|(i, f)| (f.name.clone(), i))
+        .collect();
+    let mut instrs = Vec::new();
+    let mut funcs = Vec::new();
+    for f in p.functions() {
+        let entry = instrs.len();
+        let mut fl = FnLower {
+            instrs: &mut instrs,
+            scopes: vec![HashMap::new()],
+            globals: &globals_layout,
+            func_ids: &func_ids,
+            next_local: 0,
+            max_frame: 0,
+            labels: HashMap::new(),
+            goto_patches: Vec::new(),
+            break_patches: Vec::new(),
+            continue_targets: Vec::new(),
+        };
+        for param in &f.params {
+            fl.alloc_local(&param.name, &param.ty)?;
+        }
+        fl.stmts(&f.body)?;
+        // Implicit `return 0`.
+        fl.instrs.push(Instr::Push(0));
+        fl.instrs.push(Instr::Ret);
+        // Patch gotos.
+        for (at, label) in std::mem::take(&mut fl.goto_patches) {
+            let target = *fl
+                .labels
+                .get(&label)
+                .ok_or_else(|| LowerError(format!("unknown label `{label}`")))?;
+            fl.instrs[at] = Instr::Jmp(target);
+        }
+        let frame = fl.max_frame.max(fl.next_local) as usize;
+        funcs.push(FuncInfo {
+            name: f.name.clone(),
+            entry,
+            nparams: f.params.len(),
+            frame,
+        });
+    }
+    let main = *func_ids
+        .get("main")
+        .ok_or_else(|| LowerError("no main function".into()))?;
+    Ok(Image {
+        instrs,
+        funcs,
+        globals: gmem,
+        main,
+    })
+}
+
+fn init_global(
+    init: &Expr,
+    base: i64,
+    cells: usize,
+    layout: &HashMap<String, (i64, usize)>,
+    gmem: &mut [i64],
+) -> Result<(), LowerError> {
+    if let ExprKind::Call(name, args) = &init.kind {
+        if name == "__init_list" {
+            for (i, a) in args.iter().enumerate() {
+                if i >= cells {
+                    return Err(LowerError("excess initializer".into()));
+                }
+                gmem[base as usize + i] = const_eval(a, layout)?;
+            }
+            return Ok(());
+        }
+    }
+    gmem[base as usize] = const_eval(init, layout)?;
+    Ok(())
+}
+
+fn const_eval(e: &Expr, layout: &HashMap<String, (i64, usize)>) -> Result<i64, LowerError> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Ok(*v),
+        ExprKind::CharLit(c) => Ok(*c as i64),
+        ExprKind::Unary(UnaryOp::Neg, a) => Ok(const_eval(a, layout)?.wrapping_neg()),
+        ExprKind::Unary(UnaryOp::Addr, a) => match &a.kind {
+            ExprKind::Ident(id) => layout
+                .get(&id.name)
+                .map(|&(b, _)| b)
+                .ok_or_else(|| LowerError(format!("&{} in global initializer", id.name))),
+            _ => Err(LowerError("complex address in global initializer".into())),
+        },
+        ExprKind::Binary(op, a, b) => {
+            let (x, y) = (const_eval(a, layout)?, const_eval(b, layout)?);
+            crate::passes_const_arith(*op, x, y)
+                .ok_or_else(|| LowerError("non-constant global initializer".into()))
+        }
+        _ => Err(LowerError("non-constant global initializer".into())),
+    }
+}
+
+impl FnLower<'_> {
+    fn alloc_local(&mut self, name: &str, ty: &Type) -> Result<i64, LowerError> {
+        if matches!(ty.base, BaseType::Struct(_)) && ty.pointers == 0 {
+            return Err(LowerError(format!("struct local `{name}`")));
+        }
+        let n = ty.array.map(|n| n.max(1) as i64).unwrap_or(1);
+        if n > 1 << 20 {
+            return Err(LowerError(format!("array `{name}` too large")));
+        }
+        let off = self.next_local;
+        self.next_local += n;
+        self.max_frame = self.max_frame.max(self.next_local);
+        self.scopes
+            .last_mut()
+            .expect("scope")
+            .insert(name.to_string(), (false, off, n as usize));
+        Ok(off)
+    }
+
+    fn resolve(&self, name: &str) -> Option<(bool, i64, usize)> {
+        for s in self.scopes.iter().rev() {
+            if let Some(&v) = s.get(name) {
+                return Some(v);
+            }
+        }
+        self.globals.get(name).map(|&(b, n)| (true, b, n))
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Result<(), LowerError> {
+        for s in body {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
+        match s {
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.instrs.push(Instr::Pop);
+            }
+            Stmt::Decl(decls) => {
+                for d in decls {
+                    let off = self.alloc_local(&d.name, &d.ty)?;
+                    if let Some(init) = &d.init {
+                        if let ExprKind::Call(name, args) = &init.kind {
+                            if name == "__init_list" {
+                                let cells = d.ty.array.map(|n| n.max(1) as usize).unwrap_or(1);
+                                for (i, a) in args.iter().enumerate().take(cells) {
+                                    self.instrs.push(Instr::AddrLocal(off + i as i64));
+                                    self.expr(a)?;
+                                    self.instrs.push(Instr::StoreInd);
+                                }
+                                // Zero the rest, as in C.
+                                for i in args.len()..cells {
+                                    self.instrs.push(Instr::AddrLocal(off + i as i64));
+                                    self.instrs.push(Instr::Push(0));
+                                    self.instrs.push(Instr::StoreInd);
+                                }
+                                continue;
+                            }
+                        }
+                        self.instrs.push(Instr::AddrLocal(off));
+                        self.expr(init)?;
+                        self.instrs.push(Instr::StoreInd);
+                    }
+                }
+            }
+            Stmt::Block(body) => {
+                self.scopes.push(HashMap::new());
+                let saved = self.next_local;
+                self.stmts(body)?;
+                self.next_local = saved;
+                self.scopes.pop();
+            }
+            Stmt::If(c, t, e) => {
+                self.expr(c)?;
+                let jz = self.instrs.len();
+                self.instrs.push(Instr::Jz(usize::MAX));
+                self.stmt(t)?;
+                match e {
+                    Some(e) => {
+                        let jmp = self.instrs.len();
+                        self.instrs.push(Instr::Jmp(usize::MAX));
+                        let else_at = self.instrs.len();
+                        self.instrs[jz] = Instr::Jz(else_at);
+                        self.stmt(e)?;
+                        let end = self.instrs.len();
+                        self.instrs[jmp] = Instr::Jmp(end);
+                    }
+                    None => {
+                        let end = self.instrs.len();
+                        self.instrs[jz] = Instr::Jz(end);
+                    }
+                }
+            }
+            Stmt::While(c, b) => {
+                let top = self.instrs.len();
+                self.expr(c)?;
+                let jz = self.instrs.len();
+                self.instrs.push(Instr::Jz(usize::MAX));
+                self.break_patches.push(Vec::new());
+                self.continue_targets.push(ContinueTarget::Pc(top));
+                self.stmt(b)?;
+                self.instrs.push(Instr::Jmp(top));
+                let end = self.instrs.len();
+                self.instrs[jz] = Instr::Jz(end);
+                self.finish_loop(end);
+            }
+            Stmt::DoWhile(b, c) => {
+                let top = self.instrs.len();
+                self.break_patches.push(Vec::new());
+                self.continue_targets.push(ContinueTarget::Pending(Vec::new()));
+                self.stmt(b)?;
+                let cond_at = self.instrs.len();
+                self.patch_pending_continues(cond_at);
+                self.expr(c)?;
+                self.instrs.push(Instr::Jnz(top));
+                let end = self.instrs.len();
+                self.finish_loop(end);
+            }
+            Stmt::For(init, cond, step, b) => {
+                self.scopes.push(HashMap::new());
+                let saved = self.next_local;
+                match init {
+                    Some(ForInit::Decl(decls)) => self.stmt(&Stmt::Decl(decls.clone()))?,
+                    Some(ForInit::Expr(e)) => {
+                        self.expr(e)?;
+                        self.instrs.push(Instr::Pop);
+                    }
+                    None => {}
+                }
+                let top = self.instrs.len();
+                let jz = match cond {
+                    Some(c) => {
+                        self.expr(c)?;
+                        let jz = self.instrs.len();
+                        self.instrs.push(Instr::Jz(usize::MAX));
+                        Some(jz)
+                    }
+                    None => None,
+                };
+                self.break_patches.push(Vec::new());
+                self.continue_targets.push(ContinueTarget::Pending(Vec::new()));
+                self.stmt(b)?;
+                let step_at = self.instrs.len();
+                self.patch_pending_continues(step_at);
+                if let Some(st) = step {
+                    self.expr(st)?;
+                    self.instrs.push(Instr::Pop);
+                }
+                self.instrs.push(Instr::Jmp(top));
+                let end = self.instrs.len();
+                if let Some(jz) = jz {
+                    self.instrs[jz] = Instr::Jz(end);
+                }
+                self.finish_loop(end);
+                self.next_local = saved;
+                self.scopes.pop();
+            }
+            Stmt::Return(e) => {
+                match e {
+                    Some(e) => self.expr(e)?,
+                    None => self.instrs.push(Instr::Push(0)),
+                }
+                self.instrs.push(Instr::Ret);
+            }
+            Stmt::Break => {
+                let at = self.instrs.len();
+                self.instrs.push(Instr::Jmp(usize::MAX));
+                self.break_patches
+                    .last_mut()
+                    .ok_or_else(|| LowerError("break outside loop".into()))?
+                    .push(at);
+            }
+            Stmt::Continue => {
+                let at = self.instrs.len();
+                self.instrs.push(Instr::Jmp(usize::MAX));
+                match self
+                    .continue_targets
+                    .last_mut()
+                    .ok_or_else(|| LowerError("continue outside loop".into()))?
+                {
+                    ContinueTarget::Pc(pc) => {
+                        let pc = *pc;
+                        self.instrs[at] = Instr::Jmp(pc);
+                    }
+                    ContinueTarget::Pending(v) => v.push(at),
+                }
+            }
+            Stmt::Goto(l) => {
+                let at = self.instrs.len();
+                self.instrs.push(Instr::Jmp(usize::MAX));
+                self.goto_patches.push((at, l.clone()));
+            }
+            Stmt::Label(l, inner) => {
+                self.labels.insert(l.clone(), self.instrs.len());
+                self.stmt(inner)?;
+            }
+            Stmt::Empty => {}
+        }
+        Ok(())
+    }
+
+    fn patch_pending_continues(&mut self, target: usize) {
+        if let Some(ContinueTarget::Pending(v)) = self.continue_targets.last_mut() {
+            for at in std::mem::take(v) {
+                self.instrs[at] = Instr::Jmp(target);
+            }
+        }
+    }
+
+    fn finish_loop(&mut self, end: usize) {
+        for at in self.break_patches.pop().expect("loop context") {
+            self.instrs[at] = Instr::Jmp(end);
+        }
+        self.continue_targets.pop();
+    }
+
+    /// Lowers an lvalue: leaves its *address* on the stack.
+    fn addr(&mut self, e: &Expr) -> Result<(), LowerError> {
+        match &e.kind {
+            ExprKind::Ident(id) => {
+                let (is_global, base, _) = self
+                    .resolve(&id.name)
+                    .ok_or_else(|| LowerError(format!("unknown variable `{}`", id.name)))?;
+                self.instrs.push(if is_global {
+                    Instr::AddrGlobal(base)
+                } else {
+                    Instr::AddrLocal(base)
+                });
+            }
+            ExprKind::Unary(UnaryOp::Deref, inner) => {
+                self.expr(inner)?;
+            }
+            ExprKind::Index(base, idx) => {
+                // Array decays to base address; pointers are loaded.
+                self.base_addr(base)?;
+                self.expr(idx)?;
+                self.instrs.push(Instr::Bin(BinaryOp::Add));
+            }
+            ExprKind::Cast(_, inner) => self.addr(inner)?,
+            other => return Err(LowerError(format!("invalid lvalue {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn base_addr(&mut self, e: &Expr) -> Result<(), LowerError> {
+        if let ExprKind::Ident(id) = &e.kind {
+            if let Some((is_global, base, cells)) = self.resolve(&id.name) {
+                if cells > 1 {
+                    self.instrs.push(if is_global {
+                        Instr::AddrGlobal(base)
+                    } else {
+                        Instr::AddrLocal(base)
+                    });
+                    return Ok(());
+                }
+            }
+        }
+        // Pointer value.
+        self.expr(e)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<(), LowerError> {
+        match &e.kind {
+            ExprKind::IntLit(v) => self.instrs.push(Instr::Push(*v)),
+            ExprKind::CharLit(c) => self.instrs.push(Instr::Push(*c as i64)),
+            ExprKind::StrLit(_) => self.instrs.push(Instr::Push(0)),
+            ExprKind::Ident(id) => {
+                let (is_global, base, cells) = self
+                    .resolve(&id.name)
+                    .ok_or_else(|| LowerError(format!("unknown variable `{}`", id.name)))?;
+                let addr = if is_global {
+                    Instr::AddrGlobal(base)
+                } else {
+                    Instr::AddrLocal(base)
+                };
+                self.instrs.push(addr);
+                if cells == 1 {
+                    self.instrs.push(Instr::LoadInd);
+                }
+                // Arrays decay to their address.
+            }
+            ExprKind::Unary(UnaryOp::Addr, inner) => self.addr(inner)?,
+            ExprKind::Unary(UnaryOp::Deref, inner) => {
+                self.expr(inner)?;
+                self.instrs.push(Instr::LoadInd);
+            }
+            ExprKind::Unary(op @ (UnaryOp::PreInc | UnaryOp::PreDec), inner) => {
+                self.addr(inner)?;
+                self.instrs.push(Instr::Dup);
+                self.instrs.push(Instr::LoadInd);
+                self.instrs.push(Instr::Push(1));
+                self.instrs.push(Instr::Bin(if matches!(op, UnaryOp::PreInc) {
+                    BinaryOp::Add
+                } else {
+                    BinaryOp::Sub
+                }));
+                self.instrs.push(Instr::StoreIndPush);
+            }
+            ExprKind::Unary(op, inner) => {
+                self.expr(inner)?;
+                self.instrs.push(Instr::Un(*op));
+            }
+            ExprKind::Post(op, inner) => {
+                // [addr] dup load -> [addr old]; swapless encoding: store
+                // old+delta, push old: addr dup load dup push1 op
+                // -> addr old new ; need stack gymnastics. Simplest:
+                // compute new, store, then push old via arithmetic.
+                self.addr(inner)?;
+                self.instrs.push(Instr::Dup);
+                self.instrs.push(Instr::LoadInd);
+                self.instrs.push(Instr::Push(1));
+                self.instrs.push(Instr::Bin(if matches!(op, PostOp::Inc) {
+                    BinaryOp::Add
+                } else {
+                    BinaryOp::Sub
+                }));
+                self.instrs.push(Instr::StoreIndPush);
+                // Stack now holds the new value; recover the old one.
+                self.instrs.push(Instr::Push(1));
+                self.instrs.push(Instr::Bin(if matches!(op, PostOp::Inc) {
+                    BinaryOp::Sub
+                } else {
+                    BinaryOp::Add
+                }));
+            }
+            ExprKind::Binary(BinaryOp::LogAnd, a, b) => {
+                self.expr(a)?;
+                let jz = self.instrs.len();
+                self.instrs.push(Instr::Jz(usize::MAX));
+                self.expr(b)?;
+                let jz2 = self.instrs.len();
+                self.instrs.push(Instr::Jz(usize::MAX));
+                self.instrs.push(Instr::Push(1));
+                let jend = self.instrs.len();
+                self.instrs.push(Instr::Jmp(usize::MAX));
+                let zero_at = self.instrs.len();
+                self.instrs[jz] = Instr::Jz(zero_at);
+                self.instrs[jz2] = Instr::Jz(zero_at);
+                self.instrs.push(Instr::Push(0));
+                let end = self.instrs.len();
+                self.instrs[jend] = Instr::Jmp(end);
+            }
+            ExprKind::Binary(BinaryOp::LogOr, a, b) => {
+                self.expr(a)?;
+                let jnz = self.instrs.len();
+                self.instrs.push(Instr::Jnz(usize::MAX));
+                self.expr(b)?;
+                let jnz2 = self.instrs.len();
+                self.instrs.push(Instr::Jnz(usize::MAX));
+                self.instrs.push(Instr::Push(0));
+                let jend = self.instrs.len();
+                self.instrs.push(Instr::Jmp(usize::MAX));
+                let one_at = self.instrs.len();
+                self.instrs[jnz] = Instr::Jnz(one_at);
+                self.instrs[jnz2] = Instr::Jnz(one_at);
+                self.instrs.push(Instr::Push(1));
+                let end = self.instrs.len();
+                self.instrs[jend] = Instr::Jmp(end);
+            }
+            ExprKind::Binary(op, a, b) => {
+                self.expr(a)?;
+                self.expr(b)?;
+                self.instrs.push(Instr::Bin(*op));
+            }
+            ExprKind::Assign(op, lhs, rhs) => {
+                self.addr(lhs)?;
+                match op.binary() {
+                    None => {
+                        self.expr(rhs)?;
+                    }
+                    Some(bop) => {
+                        self.instrs.push(Instr::Dup);
+                        self.instrs.push(Instr::LoadInd);
+                        self.expr(rhs)?;
+                        self.instrs.push(Instr::Bin(bop));
+                    }
+                }
+                self.instrs.push(Instr::StoreIndPush);
+            }
+            ExprKind::Ternary(c, t, els) => {
+                self.expr(c)?;
+                let jz = self.instrs.len();
+                self.instrs.push(Instr::Jz(usize::MAX));
+                self.expr(t)?;
+                let jmp = self.instrs.len();
+                self.instrs.push(Instr::Jmp(usize::MAX));
+                let else_at = self.instrs.len();
+                self.instrs[jz] = Instr::Jz(else_at);
+                self.expr(els)?;
+                let end = self.instrs.len();
+                self.instrs[jmp] = Instr::Jmp(end);
+            }
+            ExprKind::Call(name, args) => {
+                if name == "printf" {
+                    let fmt = match args.first().map(|a| &a.kind) {
+                        Some(ExprKind::StrLit(s)) => s.clone(),
+                        _ => String::new(),
+                    };
+                    for a in args.iter().skip(1) {
+                        self.expr(a)?;
+                    }
+                    self.instrs.push(Instr::Print {
+                        fmt,
+                        nargs: args.len().saturating_sub(1),
+                    });
+                    self.instrs.push(Instr::Push(0));
+                } else if name == "__init_list" {
+                    return Err(LowerError("brace initializer in expression".into()));
+                } else {
+                    let func = *self
+                        .func_ids
+                        .get(name)
+                        .ok_or_else(|| LowerError(format!("unknown function `{name}`")))?;
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.instrs.push(Instr::Call {
+                        func,
+                        nargs: args.len(),
+                    });
+                }
+            }
+            ExprKind::Index(base, idx) => {
+                self.base_addr(base)?;
+                self.expr(idx)?;
+                self.instrs.push(Instr::Bin(BinaryOp::Add));
+                self.instrs.push(Instr::LoadInd);
+            }
+            ExprKind::Member(_, _, _) => {
+                return Err(LowerError("struct member access".into()))
+            }
+            ExprKind::Cast(_, inner) => self.expr(inner)?,
+            ExprKind::Comma(a, b) => {
+                self.expr(a)?;
+                self.instrs.push(Instr::Pop);
+                self.expr(b)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+// ----- the VM ---------------------------------------------------------------
+
+/// Executes an image with the given fuel.
+///
+/// # Errors
+///
+/// Returns a [`Trap`] on bad addresses, division by zero or timeout.
+pub fn execute(image: &Image, fuel: u64) -> Result<VmExecution, Trap> {
+    let mut mem = image.globals.clone();
+    let stack_base = mem.len();
+    mem.resize(stack_base + (1 << 16), STACK_CANARY);
+    let mut values: Vec<i64> = Vec::new();
+    let mut frames: Vec<(usize, usize)> = Vec::new(); // (return pc, fp)
+    let mut output = Vec::new();
+
+    let main = &image.funcs[image.main];
+    let mut fp = stack_base;
+    // Fill main's frame with canaries (resize above already did).
+    let mut sp_mem = stack_base + main.frame;
+    let mut pc = main.entry;
+    let mut remaining = fuel;
+
+    macro_rules! pop {
+        () => {
+            values.pop().ok_or(Trap::StackUnderflow)?
+        };
+    }
+
+    loop {
+        if remaining == 0 {
+            return Err(Trap::Timeout);
+        }
+        remaining -= 1;
+        let instr = image.instrs.get(pc).ok_or(Trap::BadAddress(pc as i64))?;
+        pc += 1;
+        match instr {
+            Instr::Push(v) => values.push(*v),
+            Instr::AddrLocal(off) => values.push(fp as i64 + off),
+            Instr::AddrGlobal(a) => values.push(*a),
+            Instr::LoadInd => {
+                let a = pop!();
+                if a < 0 || a as usize >= mem.len() {
+                    return Err(Trap::BadAddress(a));
+                }
+                values.push(mem[a as usize]);
+            }
+            Instr::StoreInd | Instr::StoreIndPush => {
+                let v = pop!();
+                let a = pop!();
+                if a < 0 || a as usize >= mem.len() {
+                    return Err(Trap::BadAddress(a));
+                }
+                mem[a as usize] = v;
+                if matches!(instr, Instr::StoreIndPush) {
+                    values.push(v);
+                }
+            }
+            Instr::Dup => {
+                let v = *values.last().ok_or(Trap::StackUnderflow)?;
+                values.push(v);
+            }
+            Instr::Pop => {
+                pop!();
+            }
+            Instr::Bin(op) => {
+                let b = pop!();
+                let a = pop!();
+                values.push(vm_arith(*op, a, b)?);
+            }
+            Instr::Un(op) => {
+                let a = pop!();
+                values.push(match op {
+                    UnaryOp::Neg => a.wrapping_neg(),
+                    UnaryOp::Not => (a == 0) as i64,
+                    UnaryOp::BitNot => !a,
+                    _ => return Err(Trap::StackUnderflow),
+                });
+            }
+            Instr::Jmp(t) => pc = *t,
+            Instr::Jz(t) => {
+                if pop!() == 0 {
+                    pc = *t;
+                }
+            }
+            Instr::Jnz(t) => {
+                if pop!() != 0 {
+                    pc = *t;
+                }
+            }
+            Instr::Call { func, nargs } => {
+                if frames.len() >= 64 {
+                    return Err(Trap::StackOverflow);
+                }
+                let f = &image.funcs[*func];
+                let new_fp = sp_mem;
+                let new_sp = new_fp + f.frame;
+                if new_sp > mem.len() {
+                    return Err(Trap::StackOverflow);
+                }
+                // Canary-fill the fresh frame.
+                for cell in &mut mem[new_fp..new_sp] {
+                    *cell = STACK_CANARY;
+                }
+                // Pop arguments into parameter slots (reverse order).
+                for i in (0..*nargs).rev() {
+                    let v = pop!();
+                    mem[new_fp + i] = v;
+                }
+                frames.push((pc, fp));
+                fp = new_fp;
+                sp_mem = new_sp;
+                pc = f.entry;
+            }
+            Instr::Ret => {
+                let v = pop!();
+                match frames.pop() {
+                    Some((ret_pc, old_fp)) => {
+                        sp_mem = fp;
+                        fp = old_fp;
+                        pc = ret_pc;
+                        values.push(v);
+                    }
+                    None => {
+                        return Ok(VmExecution {
+                            exit_code: v & 0xff,
+                            output,
+                        });
+                    }
+                }
+            }
+            Instr::Print { fmt, nargs } => {
+                let mut vals = Vec::new();
+                for _ in 0..*nargs {
+                    vals.push(pop!());
+                }
+                vals.reverse();
+                let mut rendered = fmt.clone();
+                if !vals.is_empty() {
+                    rendered.push(':');
+                    rendered.push_str(
+                        &vals
+                            .iter()
+                            .map(|v| v.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    );
+                }
+                output.push(rendered);
+            }
+            Instr::Halt => {
+                return Ok(VmExecution {
+                    exit_code: 0,
+                    output,
+                })
+            }
+        }
+    }
+}
+
+fn vm_arith(op: BinaryOp, a: i64, b: i64) -> Result<i64, Trap> {
+    Ok(match op {
+        BinaryOp::Add => a.wrapping_add(b),
+        BinaryOp::Sub => a.wrapping_sub(b),
+        BinaryOp::Mul => a.wrapping_mul(b),
+        BinaryOp::Div => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinaryOp::Rem => {
+            if b == 0 {
+                return Err(Trap::DivByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinaryOp::Lt => (a < b) as i64,
+        BinaryOp::Gt => (a > b) as i64,
+        BinaryOp::Le => (a <= b) as i64,
+        BinaryOp::Ge => (a >= b) as i64,
+        BinaryOp::Eq => (a == b) as i64,
+        BinaryOp::Ne => (a != b) as i64,
+        BinaryOp::BitAnd => a & b,
+        BinaryOp::BitOr => a | b,
+        BinaryOp::BitXor => a ^ b,
+        BinaryOp::Shl => a.wrapping_shl((b & 63) as u32),
+        BinaryOp::Shr => a.wrapping_shr((b & 63) as u32),
+        BinaryOp::LogAnd => ((a != 0) && (b != 0)) as i64,
+        BinaryOp::LogOr => ((a != 0) || (b != 0)) as i64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_minic::parse;
+
+    fn run_src(src: &str) -> VmExecution {
+        let p = parse(src).expect("parses");
+        let img = lower(&p).expect("lowers");
+        execute(&img, 1_000_000).expect("executes")
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(run_src("int main() { return 2 + 3 * 4; }").exit_code, 14);
+    }
+
+    #[test]
+    fn locals_params_and_calls() {
+        let src = r#"
+            int add(int a, int b) { return a + b; }
+            int main() { int x = add(2, 3); return add(x, 10); }
+        "#;
+        assert_eq!(run_src(src).exit_code, 15);
+    }
+
+    #[test]
+    fn recursion() {
+        let src = r#"
+            int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+            int main() { return fib(10); }
+        "#;
+        assert_eq!(run_src(src).exit_code, 55);
+    }
+
+    #[test]
+    fn globals_and_pointers() {
+        let src = r#"
+            int a = 0;
+            int main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }
+        "#;
+        assert_eq!(run_src(src).exit_code, 2);
+    }
+
+    #[test]
+    fn arrays_and_loops() {
+        let src = r#"
+            int u[5];
+            int main() {
+                for (int i = 0; i < 5; i++) u[i] = i * i;
+                int s = 0;
+                for (int i = 0; i < 5; i++) s += u[i];
+                return s; // 0+1+4+9+16
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 30);
+    }
+
+    #[test]
+    fn break_continue_do_while() {
+        let src = r#"
+            int main() {
+                int s = 0, i = 0;
+                do {
+                    i++;
+                    if (i == 2) continue;
+                    if (i == 5) break;
+                    s += i;
+                } while (1);
+                return s; // 1 + 3 + 4
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 8);
+    }
+
+    #[test]
+    fn goto_and_labels() {
+        let src = r#"
+            int main() {
+                int i = 0, s = 0;
+                again: i++; s += i;
+                if (i < 3) goto again;
+                return s;
+            }
+        "#;
+        assert_eq!(run_src(src).exit_code, 6);
+    }
+
+    #[test]
+    fn short_circuit_semantics() {
+        let src = "int main() { int z = 0; return (z != 0 && 5 / z > 0) + (1 || 5 / z); }";
+        assert_eq!(run_src(src).exit_code, 1);
+    }
+
+    #[test]
+    fn post_and_pre_increment_values() {
+        let src = "int main() { int x = 5; int a = x++; int b = ++x; return a * 10 + b; }";
+        assert_eq!(run_src(src).exit_code, (5 * 10 + 7) & 0xff);
+    }
+
+    #[test]
+    fn uninitialized_local_reads_canary() {
+        let src = "int main() { int x; return x; }";
+        assert_eq!(run_src(src).exit_code, STACK_CANARY);
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let p = parse("int main() { int z = 0; return 5 / z; }").expect("parses");
+        let img = lower(&p).expect("lowers");
+        assert_eq!(execute(&img, 10_000), Err(Trap::DivByZero));
+    }
+
+    #[test]
+    fn infinite_loop_times_out() {
+        let p = parse("int main() { while (1) ; return 0; }").expect("parses");
+        let img = lower(&p).expect("lowers");
+        assert_eq!(execute(&img, 1_000), Err(Trap::Timeout));
+    }
+
+    #[test]
+    fn structs_rejected() {
+        let p = parse("struct s { int x; }; int main() { return 0; }").expect("parses");
+        assert!(lower(&p).is_err());
+    }
+
+    #[test]
+    fn printf_output() {
+        let exec = run_src(r#"int main() { int a = 7; printf("%d", a); return 0; }"#);
+        assert_eq!(exec.output, vec!["%d:7".to_string()]);
+    }
+
+    #[test]
+    fn matches_reference_interpreter_on_defined_programs() {
+        let srcs = [
+            "int main() { int a = 3, b = 4; return a * b + (a - b); }",
+            "int g = 10; int main() { int i; for (i = 0; i < g; i++) ; return i; }",
+            "int sq(int x) { return x * x; } int main() { return sq(3) + sq(4); }",
+            "int main() { int a[4] = {1,2,3,4}; int *p = &a[0]; return *(p + 2); }",
+            "int main() { int x = 1; { int y = 2; x += y; } return x; }",
+        ];
+        for src in srcs {
+            let p = parse(src).expect("parses");
+            let reference =
+                crate::interp::run(&p, crate::interp::Limits::default()).expect("UB-free");
+            let vm = run_src(src);
+            assert_eq!(reference.exit_code, vm.exit_code, "{src}");
+            assert_eq!(reference.output, vm.output, "{src}");
+        }
+    }
+}

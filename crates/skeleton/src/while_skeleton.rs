@@ -1,0 +1,197 @@
+//! Skeletons over the WHILE language (§3 of the paper).
+//!
+//! WHILE has no lexical scoping, so a skeleton is just the unscoped
+//! instance `PARTITIONS(n, k)` — the setting of the paper's Figure 5 and
+//! Examples 1–5.
+
+use spe_combinatorics::{labels_to_rgs, rgs_to_blocks, FlatInstance};
+use spe_while::{WOcc, WParseError, WProgram};
+use std::collections::HashMap;
+
+/// A WHILE program viewed as a skeleton.
+#[derive(Debug, Clone)]
+pub struct WhileSkeleton {
+    program: WProgram,
+    occs: Vec<WOcc>,
+    names: Vec<String>,
+    variables: Vec<String>,
+    instance: FlatInstance,
+}
+
+impl WhileSkeleton {
+    /// Parses WHILE source into a skeleton.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WParseError`] on malformed source.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use spe_skeleton::WhileSkeleton;
+    /// let w = WhileSkeleton::from_source("a := 10; b := 1; while a do a := a - b")?;
+    /// assert_eq!(w.num_holes(), 6);
+    /// # Ok::<(), spe_while::WParseError>(())
+    /// ```
+    pub fn from_source(src: &str) -> Result<WhileSkeleton, WParseError> {
+        Ok(WhileSkeleton::from_program(spe_while::parse(src)?))
+    }
+
+    /// Builds a skeleton from a parsed WHILE program.
+    pub fn from_program(program: WProgram) -> WhileSkeleton {
+        let mut occs = Vec::new();
+        let mut names = Vec::new();
+        program.for_each_occ(&mut |name, occ| {
+            occs.push(occ);
+            names.push(name.to_string());
+        });
+        let variables = program.variables();
+        let instance = FlatInstance::unscoped(occs.len(), variables.len());
+        WhileSkeleton {
+            program,
+            occs,
+            names,
+            variables,
+            instance,
+        }
+    }
+
+    /// The underlying program.
+    pub fn program(&self) -> &WProgram {
+        &self.program
+    }
+
+    /// Number of holes (variable occurrences).
+    pub fn num_holes(&self) -> usize {
+        self.occs.len()
+    }
+
+    /// Distinct variable names, in order of first occurrence.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// The unscoped enumeration instance.
+    pub fn instance(&self) -> &FlatInstance {
+        &self.instance
+    }
+
+    /// The characteristic vector of the original program as an RGS — the
+    /// paper's restricted growth string of Example 5.
+    ///
+    /// ```
+    /// use spe_skeleton::WhileSkeleton;
+    /// let w = WhileSkeleton::from_source("a := 10; b := 1; while a do a := a - b")?;
+    /// assert_eq!(w.original_rgs(), vec![0, 1, 0, 0, 0, 1]); // "010001"
+    /// # Ok::<(), spe_while::WParseError>(())
+    /// ```
+    pub fn original_rgs(&self) -> Vec<usize> {
+        let labels: Vec<usize> = self
+            .names
+            .iter()
+            .map(|n| {
+                self.variables
+                    .iter()
+                    .position(|v| v == n)
+                    .expect("name is a known variable")
+            })
+            .collect();
+        labels_to_rgs(&labels)
+    }
+
+    /// Realizes a partition (RGS over the holes) as a program: block `j`
+    /// is filled with the `j`-th variable name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RGS length differs from the hole count or uses more
+    /// blocks than there are variables.
+    pub fn realize_rgs(&self, rgs: &[usize]) -> WProgram {
+        assert_eq!(rgs.len(), self.occs.len(), "RGS must cover all holes");
+        let blocks = rgs_to_blocks(rgs);
+        assert!(
+            blocks.len() <= self.variables.len(),
+            "more blocks than variables"
+        );
+        let mut map: HashMap<WOcc, String> = HashMap::new();
+        for (b, members) in blocks.iter().enumerate() {
+            for &m in members {
+                map.insert(self.occs[m], self.variables[b].clone());
+            }
+        }
+        self.program.realize(&map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_combinatorics::Rgs;
+    use spe_while::{interpret, Outcome};
+
+    fn fig5() -> WhileSkeleton {
+        WhileSkeleton::from_source("a := 10; b := 1; while a do a := a - b").expect("parses")
+    }
+
+    #[test]
+    fn figure5_shape() {
+        let w = fig5();
+        assert_eq!(w.num_holes(), 6);
+        assert_eq!(w.variables(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(w.instance().naive_count().to_u64(), Some(64));
+    }
+
+    #[test]
+    fn original_rgs_matches_example5() {
+        assert_eq!(fig5().original_rgs(), vec![0, 1, 0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn example2_p2_rgs() {
+        // P2 = ⟨a, b, b, b, a, b⟩ -> "011101".
+        let w = WhileSkeleton::from_source("a := 10; b := 1; while b do b := a - b")
+            .expect("parses");
+        assert_eq!(w.original_rgs(), vec![0, 1, 1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn realize_all_variants_are_parseable_and_distinct() {
+        let w = fig5();
+        let mut seen = std::collections::HashSet::new();
+        for rgs in Rgs::new(6, 2) {
+            let p = w.realize_rgs(&rgs);
+            let src = p.to_string();
+            assert!(seen.insert(src.clone()), "duplicate variant: {src}");
+            spe_while::parse(&src).unwrap_or_else(|e| panic!("{e}: {src}"));
+        }
+        assert_eq!(seen.len(), 32); // {6 1} + {6 2}
+    }
+
+    #[test]
+    fn realized_variants_run() {
+        let w = fig5();
+        for rgs in Rgs::new(6, 2) {
+            let p = w.realize_rgs(&rgs);
+            // Every variant either terminates or times out; no crash.
+            let _ = interpret(&p, 10_000).expect("interprets");
+        }
+    }
+
+    #[test]
+    fn identity_partition_reproduces_program_semantics() {
+        let w = fig5();
+        let original = interpret(w.program(), 10_000).expect("runs");
+        let realized = w.realize_rgs(&w.original_rgs());
+        let again = interpret(&realized, 10_000).expect("runs");
+        match (original, again) {
+            (Outcome::Finished(a), Outcome::Finished(b)) => assert_eq!(a, b),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RGS must cover all holes")]
+    fn realize_rejects_short_rgs() {
+        let _ = fig5().realize_rgs(&[0, 1]);
+    }
+}

@@ -1,0 +1,797 @@
+//! A small optimizing compiler for WHILE with seeded defects.
+//!
+//! This is the stand-in for CompCert and the Scala compilers in the
+//! paper's generality experiments (§5.3): a second, independent language
+//! toolchain that SPE can differential-test. The compiler lowers WHILE to
+//! a stack machine with (optionally) constant folding, dead-branch
+//! elimination and a naive copy-propagation pass; *bug profiles* inject
+//! deterministic, pattern-triggered defects modeled on the paper's case
+//! studies (e.g. the `operand_equal_p` crash of GCC bug 69801 appears
+//! here as a folding crash on structurally identical operands).
+
+use crate::{AExpr, BExpr, Outcome, WProgram, WRuntimeError, WState, WStmt};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stack-machine instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Push a constant.
+    Push(i64),
+    /// Push variable `slot`.
+    Load(usize),
+    /// Pop into variable `slot`.
+    Store(usize),
+    /// Pop two, push `a + b`.
+    Add,
+    /// Pop two, push `a - b`.
+    Sub,
+    /// Pop two, push `a * b`.
+    Mul,
+    /// Pop two, push `a < b`.
+    Lt,
+    /// Pop two, push `a <= b`.
+    Le,
+    /// Pop two, push `a == b`.
+    Eq,
+    /// Pop one, push logical negation.
+    Not,
+    /// Unconditional jump.
+    Jmp(usize),
+    /// Pop; jump if zero.
+    Jz(usize),
+    /// Stop.
+    Halt,
+}
+
+/// A compiled WHILE program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compiled {
+    /// Instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Variable names, indexed by slot.
+    pub vars: Vec<String>,
+}
+
+/// Which seeded defect set the compiler runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugProfile {
+    /// No injected bugs — the reference configuration.
+    None,
+    /// CompCert-like profile: frontend/folding crashes.
+    CompCertSim,
+    /// Scala-like profile: typer crash + a miscompiling copy propagation.
+    ScalaSim,
+}
+
+/// Compiler crash ("internal compiler error"), the analogue of the
+/// paper's crash bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternalError {
+    /// Pass that crashed.
+    pub pass: &'static str,
+    /// Assertion-style message — crash *signature* for deduplication.
+    pub message: String,
+}
+
+impl fmt::Display for InternalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "internal compiler error: in {}: {}", self.pass, self.message)
+    }
+}
+
+impl std::error::Error for InternalError {}
+
+/// Compilation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// 0 = no optimization, 1 = folding + dead branches, 2 = + copy prop.
+    pub opt_level: u8,
+    /// Injected defect set.
+    pub profile: BugProfile,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            opt_level: 1,
+            profile: BugProfile::None,
+        }
+    }
+}
+
+/// Compiles a WHILE program.
+///
+/// # Errors
+///
+/// Returns [`InternalError`] when an injected defect's trigger pattern is
+/// met (a compiler crash).
+///
+/// # Examples
+///
+/// ```
+/// use spe_while::{parse, compiler};
+///
+/// let p = parse("a := 10; b := 1; while a do a := a - b")?;
+/// let c = compiler::compile(&p, compiler::Options::default())?;
+/// let out = compiler::execute(&c, 10_000)?;
+/// assert!(matches!(out, spe_while::Outcome::Finished(_)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn compile(p: &WProgram, opts: Options) -> Result<Compiled, InternalError> {
+    // The observable state is the *original* variable set: optimization
+    // may fold every reference to a variable away, but it still exists
+    // (and is zero) in the program's semantics.
+    let vars = p.variables();
+    let mut program = p.clone();
+    if opts.opt_level >= 1 {
+        program = fold_program(&program, opts.profile)?;
+    }
+    if opts.opt_level >= 2 {
+        program = copy_propagate(&program, opts.profile)?;
+    }
+    lower(&program, vars, opts.profile)
+}
+
+/// Executes a compiled program on the stack VM with a fuel bound.
+///
+/// # Errors
+///
+/// Returns [`WRuntimeError`] on arithmetic overflow or a corrupt stack
+/// (which would itself indicate a codegen bug).
+pub fn execute(c: &Compiled, fuel: u64) -> Result<Outcome, WRuntimeError> {
+    let mut slots = vec![0i64; c.vars.len()];
+    let mut stack: Vec<i64> = Vec::new();
+    let mut pc = 0usize;
+    let mut remaining = fuel;
+    loop {
+        if remaining == 0 {
+            return Ok(Outcome::Timeout);
+        }
+        remaining -= 1;
+        let Some(instr) = c.instrs.get(pc) else {
+            return Err(WRuntimeError(format!("pc {pc} out of bounds")));
+        };
+        pc += 1;
+        macro_rules! pop {
+            () => {
+                stack
+                    .pop()
+                    .ok_or_else(|| WRuntimeError("stack underflow".into()))?
+            };
+        }
+        match instr {
+            Instr::Push(v) => stack.push(*v),
+            Instr::Load(s) => stack.push(slots[*s]),
+            Instr::Store(s) => {
+                let v = pop!();
+                slots[*s] = v;
+            }
+            Instr::Add => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(
+                    a.checked_add(b)
+                        .ok_or_else(|| WRuntimeError("arithmetic overflow".into()))?,
+                );
+            }
+            Instr::Sub => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(
+                    a.checked_sub(b)
+                        .ok_or_else(|| WRuntimeError("arithmetic overflow".into()))?,
+                );
+            }
+            Instr::Mul => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(
+                    a.checked_mul(b)
+                        .ok_or_else(|| WRuntimeError("arithmetic overflow".into()))?,
+                );
+            }
+            Instr::Lt => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a < b) as i64);
+            }
+            Instr::Le => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a <= b) as i64);
+            }
+            Instr::Eq => {
+                let b = pop!();
+                let a = pop!();
+                stack.push((a == b) as i64);
+            }
+            Instr::Not => {
+                let a = pop!();
+                stack.push((a == 0) as i64);
+            }
+            Instr::Jmp(t) => pc = *t,
+            Instr::Jz(t) => {
+                let v = pop!();
+                if v == 0 {
+                    pc = *t;
+                }
+            }
+            Instr::Halt => {
+                let mut state: WState = BTreeMap::new();
+                for (i, name) in c.vars.iter().enumerate() {
+                    state.insert(name.clone(), slots[i]);
+                }
+                return Ok(Outcome::Finished(state));
+            }
+        }
+    }
+}
+
+// ----- optimization passes ---------------------------------------------
+
+/// Structural equality ignoring occurrence ids — the analogue of GCC's
+/// `operand_equal_p`.
+fn operand_equal(a: &AExpr, b: &AExpr) -> bool {
+    match (a, b) {
+        (AExpr::Var(x, _), AExpr::Var(y, _)) => x == y,
+        (AExpr::Num(x), AExpr::Num(y)) => x == y,
+        (AExpr::Op(c, a1, a2), AExpr::Op(d, b1, b2)) => {
+            c == d && operand_equal(a1, b1) && operand_equal(a2, b2)
+        }
+        _ => false,
+    }
+}
+
+fn fold_a(e: &AExpr, profile: BugProfile) -> Result<AExpr, InternalError> {
+    match e {
+        AExpr::Var(..) | AExpr::Num(_) => Ok(e.clone()),
+        AExpr::Op(c, a, b) => {
+            let a = fold_a(a, profile)?;
+            let b = fold_a(b, profile)?;
+            // Injected CompCert-like crash: folding `e - e` of two
+            // structurally identical *compound* operands hits an
+            // assertion (modeled on GCC bug 69801 / CompCert bug 125).
+            if profile == BugProfile::CompCertSim
+                && *c == '-'
+                && matches!(a, AExpr::Op(..))
+                && operand_equal(&a, &b)
+            {
+                return Err(InternalError {
+                    pass: "fold_aexpr",
+                    message: "assertion `!operand_address_compare` failed".into(),
+                });
+            }
+            match (&a, &b) {
+                (AExpr::Num(x), AExpr::Num(y)) => {
+                    let v = match c {
+                        '+' => x.checked_add(*y),
+                        '-' => x.checked_sub(*y),
+                        '*' => x.checked_mul(*y),
+                        _ => None,
+                    };
+                    match v {
+                        Some(v) => Ok(AExpr::Num(v)),
+                        None => Ok(AExpr::Op(*c, Box::new(a), Box::new(b))),
+                    }
+                }
+                // x - x => 0 (sound: WHILE expressions are effect-free).
+                _ if *c == '-' && operand_equal(&a, &b) => Ok(AExpr::Num(0)),
+                // x * 0 / 0 * x => 0, x * 1 / 1 * x => x, x + 0 => x.
+                (_, AExpr::Num(0)) if *c == '*' => Ok(AExpr::Num(0)),
+                (AExpr::Num(0), _) if *c == '*' => Ok(AExpr::Num(0)),
+                (_, AExpr::Num(1)) if *c == '*' => Ok(a),
+                (AExpr::Num(1), _) if *c == '*' => Ok(b),
+                (_, AExpr::Num(0)) if *c == '+' || *c == '-' => Ok(a),
+                (AExpr::Num(0), _) if *c == '+' => Ok(b),
+                _ => Ok(AExpr::Op(*c, Box::new(a), Box::new(b))),
+            }
+        }
+    }
+}
+
+fn fold_b(e: &BExpr, profile: BugProfile) -> Result<BExpr, InternalError> {
+    Ok(match e {
+        BExpr::Const(_) => e.clone(),
+        BExpr::Not(b) => match fold_b(b, profile)? {
+            BExpr::Const(v) => BExpr::Const(!v),
+            other => BExpr::Not(Box::new(other)),
+        },
+        BExpr::Logic(and, a, b) => {
+            let a = fold_b(a, profile)?;
+            let b = fold_b(b, profile)?;
+            match (*and, &a, &b) {
+                (true, BExpr::Const(false), _) | (true, _, BExpr::Const(false)) => {
+                    BExpr::Const(false)
+                }
+                (true, BExpr::Const(true), _) => b,
+                (true, _, BExpr::Const(true)) => a,
+                (false, BExpr::Const(true), _) | (false, _, BExpr::Const(true)) => {
+                    BExpr::Const(true)
+                }
+                (false, BExpr::Const(false), _) => b,
+                (false, _, BExpr::Const(false)) => a,
+                _ => BExpr::Logic(*and, Box::new(a), Box::new(b)),
+            }
+        }
+        BExpr::Rel(op, a, b) => {
+            let a = fold_a(a, profile)?;
+            let b = fold_a(b, profile)?;
+            match (&a, &b) {
+                (AExpr::Num(x), AExpr::Num(y)) => BExpr::Const(match *op {
+                    "<" => x < y,
+                    "<=" => x <= y,
+                    _ => x == y,
+                }),
+                _ => BExpr::Rel(op, Box::new(a), Box::new(b)),
+            }
+        }
+        BExpr::Truthy(a) => match fold_a(a, profile)? {
+            AExpr::Num(v) => BExpr::Const(v != 0),
+            other => BExpr::Truthy(Box::new(other)),
+        },
+    })
+}
+
+fn first_read_var(b: &BExpr) -> Option<String> {
+    fn walk(e: &AExpr, found: &mut Option<String>) {
+        if found.is_some() {
+            return;
+        }
+        match e {
+            AExpr::Var(n, _) => *found = Some(n.clone()),
+            AExpr::Num(_) => {}
+            AExpr::Op(_, a, b) => {
+                walk(a, found);
+                walk(b, found);
+            }
+        }
+    }
+    let mut found = None;
+    match b {
+        BExpr::Const(_) => {}
+        BExpr::Not(inner) => return first_read_var(inner),
+        BExpr::Logic(_, a, _) => return first_read_var(a),
+        BExpr::Rel(_, a, b2) => {
+            walk(a, &mut found);
+            if found.is_none() {
+                walk(b2, &mut found);
+            }
+        }
+        BExpr::Truthy(a) => walk(a, &mut found),
+    }
+    found
+}
+
+fn fold_stmts(stmts: &[WStmt], profile: BugProfile) -> Result<Vec<WStmt>, InternalError> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            WStmt::Assign(n, o, e) => out.push(WStmt::Assign(n.clone(), *o, fold_a(e, profile)?)),
+            WStmt::Skip => {}
+            WStmt::While(b, body) => {
+                let b = fold_b(b, profile)?;
+                // Injected Scala-like "typer" crash: a while loop whose
+                // condition's first-read variable is immediately
+                // reassigned as the first statement of the body (modeled
+                // on Dotty issue 1637's self-referential pattern).
+                if profile == BugProfile::ScalaSim {
+                    if let (Some(cv), Some(WStmt::Assign(an, _, _))) =
+                        (first_read_var(&b), body.first())
+                    {
+                        if cv == *an {
+                            return Err(InternalError {
+                                pass: "typer",
+                                message: "assertion failed: denotation of looped symbol".into(),
+                            });
+                        }
+                    }
+                }
+                if matches!(b, BExpr::Const(false)) {
+                    continue; // dead loop
+                }
+                out.push(WStmt::While(b, fold_stmts(body, profile)?));
+            }
+            WStmt::If(b, t, e) => {
+                let b = fold_b(b, profile)?;
+                match b {
+                    BExpr::Const(true) => out.extend(fold_stmts(t, profile)?),
+                    BExpr::Const(false) => out.extend(fold_stmts(e, profile)?),
+                    _ => out.push(WStmt::If(
+                        b,
+                        fold_stmts(t, profile)?,
+                        fold_stmts(e, profile)?,
+                    )),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn fold_program(p: &WProgram, profile: BugProfile) -> Result<WProgram, InternalError> {
+    Ok(WProgram {
+        stmts: fold_stmts(&p.stmts, profile)?,
+        max_occ: p.max_occ,
+    })
+}
+
+fn subst_var_a(e: &AExpr, from: &str, to: &str) -> AExpr {
+    match e {
+        AExpr::Var(n, o) if n == from => AExpr::Var(to.to_string(), *o),
+        AExpr::Var(..) | AExpr::Num(_) => e.clone(),
+        AExpr::Op(c, a, b) => AExpr::Op(
+            *c,
+            Box::new(subst_var_a(a, from, to)),
+            Box::new(subst_var_a(b, from, to)),
+        ),
+    }
+}
+
+fn subst_var_b(e: &BExpr, from: &str, to: &str) -> BExpr {
+    match e {
+        BExpr::Const(_) => e.clone(),
+        BExpr::Not(b) => BExpr::Not(Box::new(subst_var_b(b, from, to))),
+        BExpr::Logic(and, a, b) => BExpr::Logic(
+            *and,
+            Box::new(subst_var_b(a, from, to)),
+            Box::new(subst_var_b(b, from, to)),
+        ),
+        BExpr::Rel(op, a, b) => BExpr::Rel(
+            op,
+            Box::new(subst_var_a(a, from, to)),
+            Box::new(subst_var_a(b, from, to)),
+        ),
+        BExpr::Truthy(a) => BExpr::Truthy(Box::new(subst_var_a(a, from, to))),
+    }
+}
+
+/// Naive top-level copy propagation. With [`BugProfile::ScalaSim`] the
+/// pass is *deliberately wrong*: after `x := y` it rewrites reads of `x`
+/// in the next statement even when that statement is a loop that
+/// reassigns `x` — a seeded wrong-code defect for differential testing.
+fn copy_propagate(p: &WProgram, profile: BugProfile) -> Result<WProgram, InternalError> {
+    let mut stmts = p.stmts.clone();
+    let mut i = 0;
+    while i + 1 < stmts.len() {
+        let copy = match &stmts[i] {
+            WStmt::Assign(x, _, AExpr::Var(y, _)) if x != y => Some((x.clone(), y.clone())),
+            _ => None,
+        };
+        if let Some((x, y)) = copy {
+            let next = &stmts[i + 1];
+            let safe = match next {
+                WStmt::Assign(n, _, _) => n != &x && n != &y,
+                // The sound pass refuses loops (x or y may be written in
+                // the body); the buggy profile propagates anyway.
+                WStmt::While(..) => profile == BugProfile::ScalaSim,
+                _ => false,
+            };
+            if safe {
+                stmts[i + 1] = match next {
+                    WStmt::Assign(n, o, e) => {
+                        WStmt::Assign(n.clone(), *o, subst_var_a(e, &x, &y))
+                    }
+                    WStmt::While(b, body) => WStmt::While(
+                        subst_var_b(b, &x, &y),
+                        body.clone(), // body untouched: the miscompile
+                    ),
+                    other => other.clone(),
+                };
+            }
+        }
+        i += 1;
+    }
+    Ok(WProgram {
+        stmts,
+        max_occ: p.max_occ,
+    })
+}
+
+// ----- lowering -----------------------------------------------------------
+
+fn lower(
+    p: &WProgram,
+    mut vars: Vec<String>,
+    profile: BugProfile,
+) -> Result<Compiled, InternalError> {
+    // Optimization never introduces variables, but be defensive.
+    for v in p.variables() {
+        if !vars.contains(&v) {
+            vars.push(v);
+        }
+    }
+    let slot_of = |name: &str| -> Result<usize, InternalError> {
+        vars.iter().position(|v| v == name).ok_or(InternalError {
+            pass: "lower",
+            message: format!("unbound variable `{name}`"),
+        })
+    };
+    let mut instrs = Vec::new();
+    lower_seq(&p.stmts, &slot_of, &mut instrs, profile)?;
+    instrs.push(Instr::Halt);
+    Ok(Compiled { instrs, vars })
+}
+
+fn lower_seq(
+    stmts: &[WStmt],
+    slot_of: &dyn Fn(&str) -> Result<usize, InternalError>,
+    out: &mut Vec<Instr>,
+    profile: BugProfile,
+) -> Result<(), InternalError> {
+    for s in stmts {
+        match s {
+            WStmt::Assign(n, _, e) => {
+                lower_a(e, slot_of, out)?;
+                out.push(Instr::Store(slot_of(n)?));
+            }
+            WStmt::Skip => {}
+            WStmt::While(b, body) => {
+                let top = out.len();
+                lower_b(b, slot_of, out)?;
+                let jz_at = out.len();
+                out.push(Instr::Jz(usize::MAX));
+                lower_seq(body, slot_of, out, profile)?;
+                out.push(Instr::Jmp(top));
+                let end = out.len();
+                out[jz_at] = Instr::Jz(end);
+            }
+            WStmt::If(b, t, e) => {
+                lower_b(b, slot_of, out)?;
+                let jz_at = out.len();
+                out.push(Instr::Jz(usize::MAX));
+                lower_seq(t, slot_of, out, profile)?;
+                let jmp_at = out.len();
+                out.push(Instr::Jmp(usize::MAX));
+                let else_at = out.len();
+                out[jz_at] = Instr::Jz(else_at);
+                lower_seq(e, slot_of, out, profile)?;
+                let end = out.len();
+                out[jmp_at] = Instr::Jmp(end);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn lower_a(
+    e: &AExpr,
+    slot_of: &dyn Fn(&str) -> Result<usize, InternalError>,
+    out: &mut Vec<Instr>,
+) -> Result<(), InternalError> {
+    match e {
+        AExpr::Var(n, _) => out.push(Instr::Load(slot_of(n)?)),
+        AExpr::Num(v) => out.push(Instr::Push(*v)),
+        AExpr::Op(c, a, b) => {
+            lower_a(a, slot_of, out)?;
+            lower_a(b, slot_of, out)?;
+            out.push(match c {
+                '+' => Instr::Add,
+                '-' => Instr::Sub,
+                _ => Instr::Mul,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn lower_b(
+    e: &BExpr,
+    slot_of: &dyn Fn(&str) -> Result<usize, InternalError>,
+    out: &mut Vec<Instr>,
+) -> Result<(), InternalError> {
+    match e {
+        BExpr::Const(v) => out.push(Instr::Push(*v as i64)),
+        BExpr::Not(b) => {
+            lower_b(b, slot_of, out)?;
+            out.push(Instr::Not);
+        }
+        BExpr::Logic(and, a, b) => {
+            // Non-short-circuit lowering: evaluate both, combine.
+            lower_b(a, slot_of, out)?;
+            lower_b(b, slot_of, out)?;
+            if *and {
+                out.push(Instr::Mul); // both non-zero (0/1 operands)
+            } else {
+                out.push(Instr::Add);
+                out.push(Instr::Push(0));
+                out.push(Instr::Eq);
+                out.push(Instr::Not);
+            }
+        }
+        BExpr::Rel(op, a, b) => {
+            lower_a(a, slot_of, out)?;
+            lower_a(b, slot_of, out)?;
+            out.push(match *op {
+                "<" => Instr::Lt,
+                "<=" => Instr::Le,
+                _ => Instr::Eq,
+            });
+        }
+        BExpr::Truthy(a) => {
+            lower_a(a, slot_of, out)?;
+            out.push(Instr::Push(0));
+            out.push(Instr::Eq);
+            out.push(Instr::Not);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{interpret, parse};
+
+    fn run_both(src: &str, opts: Options) -> (Outcome, Outcome) {
+        let p = parse(src).expect("parses");
+        let reference = interpret(&p, 100_000).expect("reference runs");
+        let compiled = compile(&p, opts).expect("compiles");
+        let vm = execute(&compiled, 1_000_000).expect("executes");
+        (reference, vm)
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_unoptimized() {
+        let srcs = [
+            "a := 10; b := 1; while a do a := a - b",
+            "i := 0; s := 0; while i < 7 do begin s := s + i * i; i := i + 1 end",
+            "x := 3; if x < 5 then y := 1 else y := 2; z := x + y * 2",
+            "x := 5; if not (x = 5) then y := 1 else y := 9",
+            "a := 2; b := 3; if a < b and b < 10 then c := 1 else c := 0",
+            "a := 2; b := 3; if a = 9 or b = 3 then c := 7 else c := 0",
+        ];
+        for src in srcs {
+            let (r, v) = run_both(
+                src,
+                Options {
+                    opt_level: 0,
+                    profile: BugProfile::None,
+                },
+            );
+            assert_eq!(r, v, "{src}");
+        }
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_optimized() {
+        let srcs = [
+            "a := 10; b := 1; while a do a := a - b",
+            "x := 4; y := x - x; if y = 0 then z := 1 else z := 2",
+            "x := 2 + 3 * 4; if true and x < 20 then y := x else y := 0",
+            "x := 1; if false then y := 9 else y := x * 1 + 0",
+        ];
+        for src in srcs {
+            let (r, v) = run_both(
+                src,
+                Options {
+                    opt_level: 1,
+                    profile: BugProfile::None,
+                },
+            );
+            assert_eq!(r, v, "{src}");
+        }
+    }
+
+    #[test]
+    fn sound_copy_propagation_preserves_semantics() {
+        let src = "a := 5; b := a; c := b + 1";
+        let (r, v) = run_both(
+            src,
+            Options {
+                opt_level: 2,
+                profile: BugProfile::None,
+            },
+        );
+        assert_eq!(r, v);
+    }
+
+    #[test]
+    fn compcert_profile_crashes_on_identical_compound_operands() {
+        // (a + b) - (a + b): identical compound operands under `-`.
+        let p = parse("a := 1; b := 2; c := (a + b) - (a + b)").expect("parses");
+        let err = compile(
+            &p,
+            Options {
+                opt_level: 1,
+                profile: BugProfile::CompCertSim,
+            },
+        )
+        .expect_err("must crash");
+        assert_eq!(err.pass, "fold_aexpr");
+    }
+
+    #[test]
+    fn compcert_profile_is_fine_on_simple_subtraction() {
+        let p = parse("a := 1; b := 2; c := a - b").expect("parses");
+        assert!(compile(
+            &p,
+            Options {
+                opt_level: 1,
+                profile: BugProfile::CompCertSim,
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn scala_profile_typer_crash() {
+        // Condition reads `a`; body's first statement reassigns `a`.
+        let p = parse("a := 3; while a do a := a - 1").expect("parses");
+        let err = compile(
+            &p,
+            Options {
+                opt_level: 1,
+                profile: BugProfile::ScalaSim,
+            },
+        )
+        .expect_err("must crash");
+        assert_eq!(err.pass, "typer");
+    }
+
+    #[test]
+    fn scala_profile_miscompiles_copy_into_loop() {
+        // After `x := y`, the loop reassigns x; the buggy pass rewrites
+        // the condition to read y, changing behaviour. (The body's first
+        // statement assigns `s`, so the typer-crash pattern of this
+        // profile does not fire.)
+        let src = "y := 0; x := y; while x < 3 do begin s := s + 1; x := x + 1 end";
+        let p = parse(src).expect("parses");
+        let reference = interpret(&p, 100_000).expect("reference");
+        let compiled = compile(
+            &p,
+            Options {
+                opt_level: 2,
+                profile: BugProfile::ScalaSim,
+            },
+        )
+        .expect("compiles");
+        let vm = execute(&compiled, 10_000).expect("runs or times out");
+        assert_ne!(reference, vm, "seeded wrong-code bug must manifest");
+    }
+
+    #[test]
+    fn clean_profile_not_affected_by_bug_patterns() {
+        let srcs = [
+            "a := 1; b := 2; c := (a + b) - (a + b)",
+            "a := 3; while a do a := a - 1",
+            "y := 0; x := y; while x < 3 do begin x := x + 1; s := s + 1 end",
+        ];
+        for src in srcs {
+            let (r, v) = run_both(
+                src,
+                Options {
+                    opt_level: 2,
+                    profile: BugProfile::None,
+                },
+            );
+            assert_eq!(r, v, "{src}");
+        }
+    }
+
+    #[test]
+    fn dead_while_is_removed_but_semantics_hold() {
+        let (r, v) = run_both(
+            "x := 1; while false do x := 99; y := x",
+            Options {
+                opt_level: 1,
+                profile: BugProfile::None,
+            },
+        );
+        assert_eq!(r, v);
+    }
+
+    #[test]
+    fn timeout_propagates_through_vm() {
+        let p = parse("x := 1; while true do x := x + 0").expect("parses");
+        let c = compile(
+            &p,
+            Options {
+                opt_level: 0,
+                profile: BugProfile::None,
+            },
+        )
+        .expect("compiles");
+        assert_eq!(execute(&c, 100).expect("runs"), Outcome::Timeout);
+    }
+}

@@ -1,0 +1,31 @@
+//! Coverage study (the paper's Figure 9 at quick scale): how much more of
+//! the compiler do SPE variants exercise compared to Orion-style
+//! statement deletion?
+//!
+//! Run with `cargo run --example coverage_study`.
+
+use spe::corpus::{generate, CorpusConfig};
+use spe::harness::coverage_run::figure9;
+
+fn main() {
+    let files = generate(&CorpusConfig { files: 40, seed: 45 });
+    println!(
+        "Measuring pass coverage over {} test programs (budget 25/file)...\n",
+        files.len()
+    );
+    let fig = figure9(&files, 25, &[10, 20, 30], 7);
+    println!(
+        "Baseline suite:  {:6.2}% functions, {:6.2}% lines",
+        fig.baseline.function, fig.baseline.line
+    );
+    for (x, p) in &fig.pm {
+        println!(
+            "PM-{x:<2} adds:     {:+6.2}% functions, {:+6.2}% lines",
+            p.function, p.line
+        );
+    }
+    println!(
+        "SPE adds:        {:+6.2}% functions, {:+6.2}% lines",
+        fig.spe.function, fig.spe.line
+    );
+}
