@@ -13,8 +13,14 @@ fn scoped_instance() -> FlatInstance {
         vec![0, 1, 2, 3],
         3,
         vec![
-            FlatScope { holes: vec![4, 5, 6], vars: 2 },
-            FlatScope { holes: vec![7, 8], vars: 1 },
+            FlatScope {
+                holes: vec![4, 5, 6],
+                vars: 2,
+            },
+            FlatScope {
+                holes: vec![7, 8],
+                vars: 1,
+            },
         ],
     )
 }

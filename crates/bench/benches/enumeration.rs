@@ -5,8 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spe_core::{Algorithm, Enumerator, EnumeratorConfig, Granularity, Skeleton};
 use std::ops::ControlFlow;
 
-const FIGURE_1: &str =
-    "int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }";
+const FIGURE_1: &str = "int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }";
 const FIGURE_6: &str = r#"
     int main() {
         int a = 1, b = 0;
@@ -53,7 +52,10 @@ fn bench_enumeration(c: &mut Criterion) {
 fn bench_counting(c: &mut Criterion) {
     let mut group = c.benchmark_group("counting");
     group.sample_size(30);
-    let files = spe_corpus::generate(&spe_corpus::CorpusConfig { files: 50, seed: 42 });
+    let files = spe_corpus::generate(&spe_corpus::CorpusConfig {
+        files: 50,
+        seed: 42,
+    });
     group.bench_function("spe_count_corpus_50", |b| {
         b.iter(|| {
             let mut total = spe_bignum::BigUint::zero();

@@ -30,8 +30,14 @@ fn bench_stirling(c: &mut Criterion) {
             (0..40).collect(),
             5,
             vec![
-                FlatScope { holes: (40..50).collect(), vars: 3 },
-                FlatScope { holes: (50..60).collect(), vars: 2 },
+                FlatScope {
+                    holes: (40..50).collect(),
+                    vars: 3,
+                },
+                FlatScope {
+                    holes: (50..60).collect(),
+                    vars: 2,
+                },
             ],
         );
         b.iter(|| paper_count(&inst))
@@ -46,8 +52,14 @@ fn bench_scoped_enumeration(c: &mut Criterion) {
         vec![0, 1, 2, 3],
         3,
         vec![
-            FlatScope { holes: vec![4, 5, 6], vars: 2 },
-            FlatScope { holes: vec![7, 8], vars: 2 },
+            FlatScope {
+                holes: vec![4, 5, 6],
+                vars: 2,
+            },
+            FlatScope {
+                holes: vec![7, 8],
+                vars: 2,
+            },
         ],
     );
     group.bench_function("paper_solutions", |b| {

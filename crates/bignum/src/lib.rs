@@ -443,7 +443,8 @@ impl Sub<&BigUint> for &BigUint {
     ///
     /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
@@ -564,7 +565,11 @@ pub struct ParseBigUintError {
 
 impl fmt::Display for ParseBigUintError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid digit {:?} in big integer literal", self.offending)
+        write!(
+            f,
+            "invalid digit {:?} in big integer literal",
+            self.offending
+        )
     }
 }
 
@@ -579,9 +584,7 @@ impl FromStr for BigUint {
         }
         let mut acc = BigUint::zero();
         for ch in s.chars() {
-            let d = ch
-                .to_digit(10)
-                .ok_or(ParseBigUintError { offending: ch })?;
+            let d = ch.to_digit(10).ok_or(ParseBigUintError { offending: ch })?;
             acc.mul_word(10);
             acc += &BigUint::from(d);
         }

@@ -108,7 +108,8 @@ pub fn count_compact_orbits(inst: &FlatInstance) -> usize {
 /// variable becomes `(pool index, rank of first occurrence within pool)`.
 pub fn compact_canonical_form(inst: &FlatInstance, filling: &[usize]) -> Vec<(usize, usize)> {
     let mut rank: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
-    let mut next_in_pool: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut next_in_pool: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
     let mut out = Vec::with_capacity(filling.len());
     for &v in filling {
         let pool = match inst.pool_of_var(v) {

@@ -13,6 +13,7 @@
 //! paper's algorithm (Example 6: canonical = 35, paper = 36).
 
 use crate::instance::GeneralInstance;
+use crate::shard::RgsShard;
 use spe_bignum::BigUint;
 use std::ops::ControlFlow;
 
@@ -44,7 +45,8 @@ pub fn has_sdr(masks: &[u128]) -> bool {
 /// "most local" realization the paper's examples use.
 pub fn sdr_matching(masks: &[u128]) -> Option<Vec<usize>> {
     let mut var_of_block: Vec<Option<usize>> = vec![None; masks.len()];
-    let mut block_of_var: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut block_of_var: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
 
     fn try_assign(
         b: usize,
@@ -84,7 +86,12 @@ pub fn sdr_matching(masks: &[u128]) -> Option<Vec<usize>> {
             return None;
         }
     }
-    Some(var_of_block.into_iter().map(|v| v.expect("assigned")).collect())
+    Some(
+        var_of_block
+            .into_iter()
+            .map(|v| v.expect("assigned"))
+            .collect(),
+    )
 }
 
 /// Enumerates every valid partition of the instance's holes exactly once,
@@ -106,32 +113,152 @@ pub fn enumerate_canonical<F>(inst: &GeneralInstance, visit: &mut F) -> ControlF
 where
     F: FnMut(&[usize]) -> ControlFlow<()>,
 {
+    enumerate_canonical_bounded(inst, &[], None, visit)
+}
+
+/// Enumerates only the valid partitions whose RGS falls inside `shard`
+/// (see [`crate::shards`]), in lexicographic order. Subtrees outside the
+/// shard's `[start, end)` boundary are pruned before recursion, so the
+/// cost is proportional to the shard, not the whole space — this is how
+/// solution *generation* (not just downstream streaming) parallelizes.
+///
+/// `shard` must describe the instance's space: `shard.n ==
+/// inst.num_holes()`. The union over a boundary-chain of shards (as
+/// produced by [`crate::shards`]) is exactly [`enumerate_canonical`]'s
+/// sequence.
+///
+/// # Examples
+///
+/// ```
+/// use spe_combinatorics::{
+///     canonical_solutions, canonical_solutions_shard, shards, FlatInstance, FlatScope,
+/// };
+///
+/// let inst = FlatInstance::new(vec![0, 1, 4], 2, vec![FlatScope { holes: vec![2, 3], vars: 2 }])
+///     .to_general();
+/// let serial = canonical_solutions(&inst, usize::MAX).0;
+/// let merged: Vec<_> = shards(inst.num_holes(), inst.num_vars, 4)
+///     .iter()
+///     .flat_map(|s| canonical_solutions_shard(&inst, s, usize::MAX).0)
+///     .collect();
+/// assert_eq!(merged, serial);
+/// ```
+pub fn enumerate_canonical_shard<F>(
+    inst: &GeneralInstance,
+    shard: &RgsShard,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[usize]) -> ControlFlow<()>,
+{
+    assert_eq!(
+        shard.n,
+        inst.num_holes(),
+        "shard describes a different space"
+    );
+    enumerate_canonical_bounded(inst, &shard.start, shard.end.as_deref(), visit)
+}
+
+/// Collects up to `limit` canonical partitions inside `shard`; the
+/// boolean reports truncation.
+pub fn canonical_solutions_shard(
+    inst: &GeneralInstance,
+    shard: &RgsShard,
+    limit: usize,
+) -> (Vec<Vec<usize>>, bool) {
+    let mut out = Vec::new();
+    let flow = enumerate_canonical_shard(inst, shard, &mut |rgs| {
+        if out.len() >= limit {
+            return ControlFlow::Break(());
+        }
+        out.push(rgs.to_vec());
+        ControlFlow::Continue(())
+    });
+    (out, flow.is_break())
+}
+
+fn enumerate_canonical_bounded<F>(
+    inst: &GeneralInstance,
+    lower: &[usize],
+    upper: Option<&[usize]>,
+    visit: &mut F,
+) -> ControlFlow<()>
+where
+    F: FnMut(&[usize]) -> ControlFlow<()>,
+{
     let n = inst.num_holes();
     let hole_masks: Vec<u128> = (0..n).map(|i| inst.mask(i)).collect();
-    if hole_masks.iter().any(|&m| m == 0) {
+    if hole_masks.contains(&0) {
         return ControlFlow::Continue(());
     }
     let mut rgs: Vec<usize> = Vec::with_capacity(n);
     let mut blocks: Vec<u128> = Vec::new();
-    rec(&hole_masks, inst.num_vars, &mut rgs, &mut blocks, visit)
+    let bounds = Bounds { lower, upper };
+    rec(
+        &hole_masks,
+        inst.num_vars,
+        &mut rgs,
+        &mut blocks,
+        &bounds,
+        !lower.is_empty(),
+        upper.is_some(),
+        visit,
+    )
 }
 
+/// Shard boundary prefixes constraining the recursive walk. The `on_*`
+/// recursion flags track whether the current prefix still equals the
+/// corresponding boundary prefix (once it diverges, the boundary can no
+/// longer constrain the subtree).
+struct Bounds<'a> {
+    /// Inclusive lower boundary (empty = start of the space).
+    lower: &'a [usize],
+    /// Exclusive upper boundary (`None` = end of the space).
+    upper: Option<&'a [usize]>,
+}
+
+#[allow(clippy::too_many_arguments)]
 fn rec<F>(
     hole_masks: &[u128],
     num_vars: usize,
     rgs: &mut Vec<usize>,
     blocks: &mut Vec<u128>,
+    bounds: &Bounds<'_>,
+    on_lower: bool,
+    on_upper: bool,
     visit: &mut F,
 ) -> ControlFlow<()>
 where
     F: FnMut(&[usize]) -> ControlFlow<()>,
 {
     let i = rgs.len();
+    // A prefix that has matched the whole exclusive upper boundary heads
+    // a subtree entirely ≥ the boundary: prune it.
+    if on_upper {
+        if let Some(upper) = bounds.upper {
+            if i == upper.len() {
+                return ControlFlow::Continue(());
+            }
+        }
+    }
     if i == hole_masks.len() {
         return visit(rgs);
     }
+    let low = if on_lower && i < bounds.lower.len() {
+        bounds.lower[i]
+    } else {
+        0
+    };
+    let high = match (on_upper, bounds.upper) {
+        // `i < upper.len()` holds here: equality was pruned above.
+        (true, Some(upper)) => upper[i],
+        _ => usize::MAX,
+    };
     // Join an existing block.
     for b in 0..blocks.len() {
+        if b < low || b > high {
+            continue;
+        }
         let merged = blocks[b] & hole_masks[i];
         if merged == 0 {
             continue;
@@ -140,17 +267,36 @@ where
         blocks[b] = merged;
         if has_sdr(blocks) {
             rgs.push(b);
-            rec(hole_masks, num_vars, rgs, blocks, visit)?;
+            rec(
+                hole_masks,
+                num_vars,
+                rgs,
+                blocks,
+                bounds,
+                on_lower && b == low && i < bounds.lower.len(),
+                on_upper && b == high,
+                visit,
+            )?;
             rgs.pop();
         }
         blocks[b] = saved;
     }
     // Open a new block.
-    if blocks.len() < num_vars {
+    let b = blocks.len();
+    if b < num_vars && b >= low && b <= high {
         blocks.push(hole_masks[i]);
         if has_sdr(blocks) {
-            rgs.push(blocks.len() - 1);
-            rec(hole_masks, num_vars, rgs, blocks, visit)?;
+            rgs.push(b);
+            rec(
+                hole_masks,
+                num_vars,
+                rgs,
+                blocks,
+                bounds,
+                on_lower && b == low && i < bounds.lower.len(),
+                on_upper && b == high,
+                visit,
+            )?;
             rgs.pop();
         }
         blocks.pop();
@@ -249,10 +395,7 @@ mod tests {
     #[test]
     fn bounded_blocks_match_stirling_sums() {
         let inst = FlatInstance::unscoped(6, 2).to_general();
-        assert_eq!(
-            canonical_count(&inst),
-            crate::partitions_at_most(6, 2)
-        );
+        assert_eq!(canonical_count(&inst), crate::partitions_at_most(6, 2));
     }
 
     #[test]
@@ -260,7 +403,12 @@ mod tests {
         let (sols, truncated) = canonical_solutions(&fig7(), 10_000);
         assert!(!truncated);
         for w in sols.windows(2) {
-            assert!(w[0] < w[1], "not strictly increasing: {:?} {:?}", w[0], w[1]);
+            assert!(
+                w[0] < w[1],
+                "not strictly increasing: {:?} {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 
@@ -273,6 +421,49 @@ mod tests {
                 assignment_for_rgs(&inst, rgs).is_some(),
                 "partition {rgs:?} has no SDR"
             );
+        }
+    }
+
+    #[test]
+    fn shard_union_matches_serial_canonical_enumeration() {
+        // For several shard counts, the union of shard-bounded canonical
+        // enumerations is exactly the serial sequence.
+        let inst = fig7();
+        let serial = canonical_solutions(&inst, usize::MAX).0;
+        for want in [1usize, 2, 3, 4, 8] {
+            let cut = crate::shards(inst.num_holes(), inst.num_vars, want);
+            let merged: Vec<Vec<usize>> = cut
+                .iter()
+                .flat_map(|s| canonical_solutions_shard(&inst, s, usize::MAX).0)
+                .collect();
+            assert_eq!(merged, serial, "{want} shards");
+        }
+    }
+
+    #[test]
+    fn shard_enumeration_prunes_outside_the_boundary() {
+        // Every partition a shard emits must satisfy the shard's own
+        // membership predicate.
+        let inst = fig7();
+        for shard in crate::shards(inst.num_holes(), inst.num_vars, 4) {
+            for rgs in canonical_solutions_shard(&inst, &shard, usize::MAX).0 {
+                assert!(shard.contains(&rgs), "{rgs:?} outside {shard:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_enumeration_on_unscoped_instances() {
+        // Single scope: canonical partitions are all partitions, so shard
+        // unions must reproduce the full Bell-number sequence.
+        for n in 1..7usize {
+            let inst = FlatInstance::unscoped(n, n).to_general();
+            let serial = canonical_solutions(&inst, usize::MAX).0;
+            let merged: Vec<Vec<usize>> = crate::shards(n, n, 3)
+                .iter()
+                .flat_map(|s| canonical_solutions_shard(&inst, s, usize::MAX).0)
+                .collect();
+            assert_eq!(merged, serial, "n = {n}");
         }
     }
 

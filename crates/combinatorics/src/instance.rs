@@ -155,7 +155,8 @@ impl FlatInstance {
     /// receive ids `0..global_vars`; each scope's variables follow in
     /// order.
     pub fn to_general(&self) -> GeneralInstance {
-        let total_vars: usize = self.global_vars + self.scopes.iter().map(|s| s.vars).sum::<usize>();
+        let total_vars: usize =
+            self.global_vars + self.scopes.iter().map(|s| s.vars).sum::<usize>();
         let num_holes = self.num_holes();
         let globals: Vec<usize> = (0..self.global_vars).collect();
         let mut allowed: Vec<Vec<usize>> = vec![Vec::new(); num_holes];
@@ -337,9 +338,18 @@ mod tests {
             vec![0],
             2,
             vec![
-                FlatScope { holes: vec![1], vars: 0 },
-                FlatScope { holes: vec![], vars: 3 },
-                FlatScope { holes: vec![2], vars: 1 },
+                FlatScope {
+                    holes: vec![1],
+                    vars: 0,
+                },
+                FlatScope {
+                    holes: vec![],
+                    vars: 3,
+                },
+                FlatScope {
+                    holes: vec![2],
+                    vars: 1,
+                },
             ],
         );
         assert_eq!(inst.global_holes(), &[0, 1]);

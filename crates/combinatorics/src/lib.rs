@@ -17,6 +17,9 @@
 //!   enumeration of valid partitions (one per dependence structure);
 //! * [`enumerate_orbits`] / [`orbit_count`] — one representative per
 //!   compact-α-renaming class (Definition 2 with scopes);
+//! * [`shards`] / [`rgs_completions`] / [`Rgs::skip_to`] — exact
+//!   shard-boundary computation over the RGS space for parallel
+//!   enumeration and mid-space resumption;
 //! * [`brute`] — exponential oracles validating all of the above.
 //!
 //! # Quick start
@@ -41,20 +44,22 @@ mod instance;
 mod orbit;
 mod paper;
 mod rgs;
+mod shard;
 mod stirling;
 
 pub mod brute;
 
+pub use brute::Fillings;
 pub use canonical::{
-    assignment_for_rgs, canonical_count, canonical_solutions, enumerate_canonical, has_sdr,
-    sdr_matching,
+    assignment_for_rgs, canonical_count, canonical_solutions, canonical_solutions_shard,
+    enumerate_canonical, enumerate_canonical_shard, has_sdr, sdr_matching,
 };
 pub use combinations::{binomial, Combinations};
 pub use instance::{FlatInstance, FlatScope, GeneralInstance, HoleId, PoolRef, ScopedSolution};
 pub use orbit::{enumerate_orbits, orbit_count, orbit_solutions};
 pub use paper::{enumerate_paper, paper_count, paper_solutions};
 pub use rgs::{labels_to_rgs, rgs_block_count, rgs_to_blocks, ExactRgs, Rgs};
+pub use shard::{rgs_completions, shards, RgsShard, RgsShardIter};
 pub use stirling::{
     bell, partitions_at_most, partitions_at_most_estimate, stirling2, stirling2_clamped,
 };
-pub use brute::Fillings;

@@ -163,14 +163,34 @@ mod tests {
     fn orbits_match_brute_force() {
         let cases = vec![
             fig7(),
-            FlatInstance::new(vec![0], 1, vec![FlatScope { holes: vec![1, 2], vars: 1 }]),
-            FlatInstance::new(vec![], 2, vec![FlatScope { holes: vec![0, 1], vars: 2 }]),
+            FlatInstance::new(
+                vec![0],
+                1,
+                vec![FlatScope {
+                    holes: vec![1, 2],
+                    vars: 1,
+                }],
+            ),
+            FlatInstance::new(
+                vec![],
+                2,
+                vec![FlatScope {
+                    holes: vec![0, 1],
+                    vars: 2,
+                }],
+            ),
             FlatInstance::new(
                 vec![0, 1],
                 2,
                 vec![
-                    FlatScope { holes: vec![2], vars: 1 },
-                    FlatScope { holes: vec![3], vars: 1 },
+                    FlatScope {
+                        holes: vec![2],
+                        vars: 1,
+                    },
+                    FlatScope {
+                        holes: vec![3],
+                        vars: 1,
+                    },
                 ],
             ),
         ];
@@ -202,7 +222,11 @@ mod tests {
         let inst = fig7();
         let (sols, _) = orbit_solutions(&inst, 10_000);
         for s in &sols {
-            let g = s.pools.iter().filter(|p| matches!(p, PoolRef::Global)).count();
+            let g = s
+                .pools
+                .iter()
+                .filter(|p| matches!(p, PoolRef::Global))
+                .count();
             let l = s
                 .pools
                 .iter()

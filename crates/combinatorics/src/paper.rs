@@ -314,17 +314,44 @@ mod tests {
     #[test]
     fn enumeration_matches_count_on_varied_instances() {
         let cases = vec![
-            FlatInstance::new(vec![0], 1, vec![FlatScope { holes: vec![1, 2], vars: 1 }]),
-            FlatInstance::new(vec![], 2, vec![FlatScope { holes: vec![0, 1, 2], vars: 2 }]),
+            FlatInstance::new(
+                vec![0],
+                1,
+                vec![FlatScope {
+                    holes: vec![1, 2],
+                    vars: 1,
+                }],
+            ),
+            FlatInstance::new(
+                vec![],
+                2,
+                vec![FlatScope {
+                    holes: vec![0, 1, 2],
+                    vars: 2,
+                }],
+            ),
             FlatInstance::new(
                 vec![0, 1],
                 2,
                 vec![
-                    FlatScope { holes: vec![2, 3], vars: 1 },
-                    FlatScope { holes: vec![4], vars: 2 },
+                    FlatScope {
+                        holes: vec![2, 3],
+                        vars: 1,
+                    },
+                    FlatScope {
+                        holes: vec![4],
+                        vars: 2,
+                    },
                 ],
             ),
-            FlatInstance::new(vec![0, 1, 2, 3], 3, vec![FlatScope { holes: vec![4, 5], vars: 2 }]),
+            FlatInstance::new(
+                vec![0, 1, 2, 3],
+                3,
+                vec![FlatScope {
+                    holes: vec![4, 5],
+                    vars: 2,
+                }],
+            ),
         ];
         for inst in cases {
             let (sols, truncated) = paper_solutions(&inst, 1_000_000);
@@ -366,7 +393,7 @@ mod tests {
         let inst = fig7();
         let (sols, _) = paper_solutions(&inst, 10_000);
         for s in &sols {
-            let mut seen = vec![false; 5];
+            let mut seen = [false; 5];
             for b in &s.blocks {
                 for &h in b {
                     assert!(!seen[h], "hole {h} appears twice in {s:?}");

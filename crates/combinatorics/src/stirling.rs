@@ -61,8 +61,6 @@ pub fn stirling2(n: u32, k: u32) -> BigUint {
             };
             let take_prev_less = if j >= 2 && (j as usize - 1) <= row.len() {
                 row[j as usize - 2].clone()
-            } else if j == 1 {
-                BigUint::zero()
             } else {
                 BigUint::zero()
             };

@@ -4,15 +4,16 @@ use proptest::prelude::*;
 use spe_bignum::BigUint;
 use spe_combinatorics::{
     brute, canonical_count, labels_to_rgs, orbit_count, paper_count, paper_solutions,
-    partitions_at_most, rgs_block_count, FlatInstance, FlatScope, Rgs,
+    partitions_at_most, rgs_block_count, rgs_completions, rgs_to_blocks, shards, FlatInstance,
+    FlatScope, Rgs,
 };
 
 /// Strategy: a small flat instance (global holes/vars plus up to two
 /// scopes) whose naive product stays brute-forceable.
 fn small_instance() -> impl Strategy<Value = FlatInstance> {
     (
-        0usize..4,  // global holes
-        1usize..4,  // global vars
+        0usize..4, // global holes
+        1usize..4, // global vars
         proptest::collection::vec((1usize..3, 1usize..3), 0..3),
     )
         .prop_map(|(g, kg, scopes)| {
@@ -115,6 +116,111 @@ proptest! {
             }
             prop_assert!(seen.iter().all(|&x| x));
         }
+    }
+
+    #[test]
+    fn paper_count_is_bounded_by_the_brute_filling_count(inst in small_instance()) {
+        // The paper's enumeration set sits between the closed-form bounds:
+        // canonical ≤ paper would NOT hold in general (canonical and paper
+        // are incomparable, see DESIGN.md §2 and the
+        // `algorithm_counts_are_ordered` property above), but paper is
+        // always bounded by the brute-force filling count, and every count
+        // is bounded by the naive product that `brute::Fillings` walks.
+        let fillings = brute::Fillings::new(&inst.to_general()).count();
+        prop_assert_eq!(inst.naive_count().to_u64().expect("small"), fillings as u64);
+        let p = paper_count(&inst);
+        prop_assert!(p <= BigUint::from(fillings), "paper {p:?} <= fillings {fillings}");
+        let c = canonical_count(&inst.to_general());
+        prop_assert!(c <= BigUint::from(fillings), "canonical {c:?} <= fillings {fillings}");
+    }
+
+    #[test]
+    fn unscoped_paper_count_matches_brute_filling_classes(n in 0usize..7, k in 1usize..5) {
+        // With a single scope the paper's solution set is exactly one
+        // representative per distinct partition of the fillings, so the
+        // closed-form count equals the brute `Fillings` count after
+        // partition dedup (and canonical ≤ paper ≤ naive holds with both
+        // bounds provable).
+        let inst = FlatInstance::unscoped(n, k);
+        let general = inst.to_general();
+        let classes = brute::count_distinct_partitions(&general) as u64;
+        let p = paper_count(&inst);
+        prop_assert_eq!(p.to_u64().expect("small"), classes);
+        let c = canonical_count(&general);
+        let naive = inst.naive_count();
+        prop_assert!(c <= p.clone(), "canonical {c:?} <= paper {p:?}");
+        prop_assert!(p <= naive.clone(), "paper {p:?} <= naive {naive:?}");
+    }
+
+    #[test]
+    fn labels_to_rgs_roundtrips_through_blocks(labels in proptest::collection::vec(0usize..6, 0..12)) {
+        // labels_to_rgs ∘ rgs_to_blocks is the identity on canonical RGSs:
+        // rebuilding the string from its blocks and re-canonicalizing
+        // changes nothing.
+        let rgs = labels_to_rgs(&labels);
+        let blocks = rgs_to_blocks(&rgs);
+        let mut rebuilt = vec![usize::MAX; rgs.len()];
+        for (b, members) in blocks.iter().enumerate() {
+            prop_assert!(!members.is_empty(), "block {b} of {rgs:?} is empty");
+            for &m in members {
+                rebuilt[m] = b;
+            }
+        }
+        prop_assert_eq!(&rebuilt, &rgs);
+        prop_assert_eq!(labels_to_rgs(&rebuilt), rgs);
+    }
+
+    #[test]
+    fn completions_of_every_prefix_are_exact(n in 1usize..8, k in 1usize..5, depth in 1usize..4) {
+        // rgs_completions must agree with brute enumeration for every
+        // prefix of the given depth, and the empty prefix is Equation (1).
+        let depth = depth.min(n);
+        prop_assert_eq!(rgs_completions(0, n, k), partitions_at_most(n as u32, k as u32));
+        for prefix in Rgs::new(depth, k) {
+            let brute_count = Rgs::new(n, k)
+                .filter(|s| s[..depth] == prefix[..])
+                .count() as u64;
+            let fast = rgs_completions(rgs_block_count(&prefix), n - depth, k);
+            prop_assert_eq!(fast.to_u64(), Some(brute_count), "prefix {:?}", prefix);
+        }
+    }
+
+    #[test]
+    fn shards_cover_the_rgs_space_exactly(n in 0usize..9, k in 1usize..6, want in 1usize..9) {
+        // Union of all shards == the serial lexicographic sequence, with
+        // no duplicates and no gaps, and declared sizes exact.
+        let cut = shards(n, k, want);
+        let merged: Vec<Vec<usize>> = cut.iter().flat_map(|s| s.iter()).collect();
+        let serial: Vec<Vec<usize>> = Rgs::new(n, k).collect();
+        prop_assert_eq!(&merged, &serial);
+        let sized: BigUint = cut.iter().map(|s| &s.size).sum();
+        prop_assert_eq!(sized, BigUint::from(serial.len() as u64));
+    }
+
+    #[test]
+    fn canonical_shard_union_matches_serial(inst in small_instance(), want in 1usize..6) {
+        // Shard-bounded canonical enumeration covers the serial sequence
+        // exactly, for arbitrary scoped instances and shard counts.
+        use spe_combinatorics::{canonical_solutions, canonical_solutions_shard};
+        let general = inst.to_general();
+        let serial = canonical_solutions(&general, usize::MAX).0;
+        let merged: Vec<Vec<usize>> = shards(general.num_holes(), general.num_vars, want)
+            .iter()
+            .flat_map(|s| canonical_solutions_shard(&general, s, usize::MAX).0)
+            .collect();
+        prop_assert_eq!(merged, serial);
+    }
+
+    #[test]
+    fn skip_to_resumes_exactly_where_serial_left_off(n in 1usize..8, k in 1usize..5, at in 0usize..200) {
+        // Resuming from the prefix of the `at`-th string yields exactly
+        // the serial tail starting at that string.
+        let serial: Vec<Vec<usize>> = Rgs::new(n, k).collect();
+        let at = at % serial.len();
+        let mut resumed = Rgs::new(n, k);
+        resumed.skip_to(&serial[at]);
+        let tail: Vec<Vec<usize>> = resumed.collect();
+        prop_assert_eq!(&tail[..], &serial[at..]);
     }
 
     #[test]

@@ -31,13 +31,13 @@
 //! ```
 
 use spe_bignum::BigUint;
-use spe_combinatorics::{
-    canonical_solutions, orbit_solutions, paper_solutions, Fillings,
-};
+use spe_combinatorics::{canonical_solutions, orbit_solutions, paper_solutions, Fillings};
 use spe_minic::ast::OccId;
 pub use spe_skeleton::{Granularity, Skeleton, SkeletonError, TypeGroup, Unit};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Which enumeration semantics to use. See `DESIGN.md` §2 for the
 /// relationship between the three non-naive variants (on the paper's
@@ -128,116 +128,12 @@ impl Enumerator {
     where
         F: FnMut(&Variant) -> ControlFlow<()>,
     {
-        let units = sk.units(self.config.granularity);
-        let groups: Vec<&TypeGroup> = units.iter().flat_map(|u| u.groups.iter()).collect();
-        // Materialize per-group rename fragments, each capped by the
-        // budget (if a single group exceeds it, the product does too).
-        let mut truncated = false;
-        let mut fragments: Vec<Vec<HashMap<OccId, String>>> = Vec::with_capacity(groups.len());
-        for g in &groups {
-            let (frags, t) = self.group_fragments(sk, g);
-            truncated |= t;
-            if frags.is_empty() {
-                // A group with zero solutions never happens for
-                // well-formed skeletons (each hole's original variable is
-                // allowed), but guard anyway.
-                return EnumerationOutcome {
-                    emitted: 0,
-                    truncated,
-                };
-            }
-            fragments.push(frags);
-        }
-        // Odometer over the Cartesian product.
-        let mut emitted = 0u64;
-        let mut cursor = vec![0usize; fragments.len()];
-        loop {
-            if emitted as usize >= self.config.budget {
-                truncated = true;
-                break;
-            }
-            let mut rename = HashMap::new();
-            for (g, &c) in fragments.iter().zip(&cursor) {
-                for (k, v) in &g[c] {
-                    rename.insert(*k, v.clone());
-                }
-            }
-            let variant = Variant {
-                index: emitted,
-                rename,
-            };
-            emitted += 1;
-            if visit(&variant).is_break() {
-                return EnumerationOutcome {
-                    emitted,
-                    truncated: true,
-                };
-            }
-            // Advance the odometer.
-            let mut i = fragments.len();
-            loop {
-                if i == 0 {
-                    return EnumerationOutcome { emitted, truncated };
-                }
-                i -= 1;
-                cursor[i] += 1;
-                if cursor[i] < fragments[i].len() {
-                    break;
-                }
-                cursor[i] = 0;
-            }
-        }
-        EnumerationOutcome { emitted, truncated }
-    }
-
-    fn group_fragments(
-        &self,
-        sk: &Skeleton,
-        g: &TypeGroup,
-    ) -> (Vec<HashMap<OccId, String>>, bool) {
-        let budget = self.config.budget;
-        match self.config.algorithm {
-            Algorithm::Paper => {
-                let (sols, truncated) = paper_solutions(&g.flat, budget);
-                (
-                    sols.iter().map(|s| sk.rename_for_solution(g, s)).collect(),
-                    truncated,
-                )
-            }
-            Algorithm::Orbit => {
-                let (sols, truncated) = orbit_solutions(&g.flat, budget);
-                (
-                    sols.iter().map(|s| sk.rename_for_solution(g, s)).collect(),
-                    truncated,
-                )
-            }
-            Algorithm::Canonical => {
-                let (rgss, truncated) = canonical_solutions(&g.general, budget);
-                (
-                    rgss.iter()
-                        .filter_map(|r| sk.rename_for_rgs(g, r))
-                        .collect(),
-                    truncated,
-                )
-            }
-            Algorithm::Naive => {
-                let mut out = Vec::new();
-                let mut truncated = false;
-                for filling in Fillings::new(&g.general) {
-                    if out.len() >= budget {
-                        truncated = true;
-                        break;
-                    }
-                    let mut rename = HashMap::new();
-                    for (pos, &var_idx) in filling.iter().enumerate() {
-                        let var = g.vars[var_idx];
-                        let hole = &sk.holes()[g.holes[pos]];
-                        rename.insert(hole.occ, sk.table().var(var).name.clone());
-                    }
-                    out.push(rename);
-                }
-                (out, truncated)
-            }
+        let (fragments, mut truncated) = materialize_fragments(&self.config, sk);
+        let total = emission_total(&fragments, self.config.budget, &mut truncated);
+        let (emitted, broke) = stream_index_range(&fragments, 0..total, None, visit);
+        EnumerationOutcome {
+            emitted,
+            truncated: truncated || broke,
         }
     }
 
@@ -249,6 +145,415 @@ impl Enumerator {
             ControlFlow::Continue(())
         });
         out
+    }
+}
+
+/// Materializes the per-group rename fragments for a skeleton, each capped
+/// by the budget (if a single group exceeds it, the product does too).
+/// Returns the fragment lists (one per type group, in unit order) and
+/// whether any group was truncated.
+fn materialize_fragments(
+    config: &EnumeratorConfig,
+    sk: &Skeleton,
+) -> (Vec<Vec<HashMap<OccId, String>>>, bool) {
+    let units = sk.units(config.granularity);
+    let groups: Vec<&TypeGroup> = units.iter().flat_map(|u| u.groups.iter()).collect();
+    let mut truncated = false;
+    let mut fragments: Vec<Vec<HashMap<OccId, String>>> = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let (frags, t) = group_fragments(config, sk, g);
+        truncated |= t;
+        fragments.push(frags);
+    }
+    (fragments, truncated)
+}
+
+/// Number of variants to emit: the Cartesian product of fragment sizes,
+/// capped by the budget (the cap sets `truncated`). A group with zero
+/// solutions — which never happens for well-formed skeletons, since each
+/// hole's original variable is allowed — collapses the product to zero.
+fn emission_total(
+    fragments: &[Vec<HashMap<OccId, String>>],
+    budget: usize,
+    truncated: &mut bool,
+) -> u64 {
+    let product: u128 = fragments
+        .iter()
+        .map(|f| f.len() as u128)
+        .fold(1u128, u128::saturating_mul);
+    if product > budget as u128 {
+        *truncated = true;
+    }
+    product.min(budget as u128) as u64
+}
+
+/// Streams the variants with emission indices in `range` through `visit`,
+/// in index order. The mixed-radix decomposition of `range.start` is the
+/// `skip_to(shard_start)` entry point: a worker resumes mid-product in
+/// O(#groups) without touching earlier variants. Returns the number of
+/// variants emitted and whether the visitor (or the shared `stop` flag)
+/// broke the stream.
+fn stream_index_range<F>(
+    fragments: &[Vec<HashMap<OccId, String>>],
+    range: Range<u64>,
+    stop: Option<&AtomicBool>,
+    visit: &mut F,
+) -> (u64, bool)
+where
+    F: FnMut(&Variant) -> ControlFlow<()>,
+{
+    // skip_to: decompose the start index into an odometer cursor.
+    let mut cursor = vec![0usize; fragments.len()];
+    let mut rest = range.start;
+    for i in (0..fragments.len()).rev() {
+        let size = fragments[i].len() as u64;
+        if size == 0 {
+            return (0, false);
+        }
+        cursor[i] = (rest % size) as usize;
+        rest /= size;
+    }
+    let mut emitted = 0u64;
+    for index in range {
+        if let Some(stop) = stop {
+            if stop.load(Ordering::Relaxed) {
+                return (emitted, true);
+            }
+        }
+        let mut rename = HashMap::new();
+        for (frags, &c) in fragments.iter().zip(&cursor) {
+            for (k, v) in &frags[c] {
+                rename.insert(*k, v.clone());
+            }
+        }
+        let variant = Variant { index, rename };
+        emitted += 1;
+        if visit(&variant).is_break() {
+            if let Some(stop) = stop {
+                stop.store(true, Ordering::Relaxed);
+            }
+            return (emitted, true);
+        }
+        // Advance the odometer.
+        let mut i = fragments.len();
+        while i > 0 {
+            i -= 1;
+            cursor[i] += 1;
+            if cursor[i] < fragments[i].len() {
+                break;
+            }
+            cursor[i] = 0;
+        }
+    }
+    (emitted, false)
+}
+
+fn group_fragments(
+    config: &EnumeratorConfig,
+    sk: &Skeleton,
+    g: &TypeGroup,
+) -> (Vec<HashMap<OccId, String>>, bool) {
+    let budget = config.budget;
+    match config.algorithm {
+        Algorithm::Paper => {
+            let (sols, truncated) = paper_solutions(&g.flat, budget);
+            (
+                sols.iter().map(|s| sk.rename_for_solution(g, s)).collect(),
+                truncated,
+            )
+        }
+        Algorithm::Orbit => {
+            let (sols, truncated) = orbit_solutions(&g.flat, budget);
+            (
+                sols.iter().map(|s| sk.rename_for_solution(g, s)).collect(),
+                truncated,
+            )
+        }
+        Algorithm::Canonical => {
+            let (rgss, truncated) = canonical_solutions(&g.general, budget);
+            (
+                rgss.iter()
+                    .filter_map(|r| sk.rename_for_rgs(g, r))
+                    .collect(),
+                truncated,
+            )
+        }
+        Algorithm::Naive => {
+            let mut out = Vec::new();
+            let mut truncated = false;
+            for filling in Fillings::new(&g.general) {
+                if out.len() >= budget {
+                    truncated = true;
+                    break;
+                }
+                let mut rename = HashMap::new();
+                for (pos, &var_idx) in filling.iter().enumerate() {
+                    let var = g.vars[var_idx];
+                    let hole = &sk.holes()[g.holes[pos]];
+                    rename.insert(hole.occ, sk.table().var(var).name.clone());
+                }
+                out.push(rename);
+            }
+            (out, truncated)
+        }
+    }
+}
+
+/// Sharded parallel enumeration over a skeleton's variant space.
+///
+/// The variant space is the lexicographic Cartesian product of per-group
+/// solution lists, each of which is an RGS-ordered slice of constrained
+/// set-partition space (§4.1.2 of the paper). [`ShardedEnumerator`] cuts
+/// the product's emission-index space `[0, total)` into `K` contiguous,
+/// disjoint, near-even shards — the product-space analogue of cutting the
+/// RGS space by first-block prefix, with boundary weights exact by
+/// construction (see [`spe_combinatorics::shards`] for the single-group
+/// RGS view and its `stirling2`/`partitions_at_most`-based sizing) — and
+/// streams each shard on its own thread via [`std::thread::scope`].
+///
+/// Workers resume mid-space through the mixed-radix `skip_to(shard_start)`
+/// decomposition, so no shard ever touches another shard's variants.
+/// Emission indices are globally stable: variant `i` of a sharded run is
+/// byte-identical to variant `i` of a serial [`Enumerator`] run, which
+/// makes the union of all shards exactly the serial sequence — no
+/// duplicates, no gaps — for every [`Algorithm`] variant.
+///
+/// # Examples
+///
+/// ```
+/// use spe_core::{Enumerator, EnumeratorConfig, ShardedEnumerator, Skeleton};
+///
+/// let sk = Skeleton::from_source(
+///     "int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }",
+/// )?;
+/// let serial = Enumerator::new(EnumeratorConfig::default()).collect_sources(&sk);
+/// let sharded = ShardedEnumerator::new(EnumeratorConfig::default(), 4).collect_sources(&sk);
+/// assert_eq!(serial, sharded);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedEnumerator {
+    config: EnumeratorConfig,
+    shards: usize,
+}
+
+/// A skeleton's variant space with every per-group solution list
+/// materialized, produced by [`ShardedEnumerator::prepare`]. Building it
+/// is the expensive part of enumeration setup; one `VariantSpace` can
+/// feed any number of shard streams, from any thread, without repeating
+/// that work.
+#[derive(Debug, Clone)]
+pub struct VariantSpace {
+    fragments: Vec<Vec<HashMap<OccId, String>>>,
+    truncated: bool,
+}
+
+impl VariantSpace {
+    /// Number of variants that enumeration will emit under `budget`.
+    pub fn total(&self, budget: usize) -> u64 {
+        let mut truncated = self.truncated;
+        emission_total(&self.fragments, budget, &mut truncated)
+    }
+
+    /// Whether any group's solution list was cut short by the budget.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+impl ShardedEnumerator {
+    /// Creates a sharded enumerator cutting the space into `shards` parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(config: EnumeratorConfig, shards: usize) -> ShardedEnumerator {
+        assert!(shards > 0, "at least one shard is required");
+        ShardedEnumerator { config, shards }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EnumeratorConfig {
+        &self.config
+    }
+
+    /// Number of shards the space is cut into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The emission-index ranges of each shard for this skeleton:
+    /// `shards()` contiguous, disjoint ranges exactly covering
+    /// `[0, total)`, sized within one variant of each other. Ranges can be
+    /// empty when the space is smaller than the shard count.
+    ///
+    /// Materializes the variant space to size it; callers that also
+    /// stream shards should [`prepare`](Self::prepare) once and use
+    /// [`shard_ranges_prepared`](Self::shard_ranges_prepared) instead of
+    /// paying materialization again here.
+    pub fn shard_ranges(&self, sk: &Skeleton) -> Vec<Range<u64>> {
+        self.shard_ranges_prepared(&self.prepare(sk))
+    }
+
+    /// [`shard_ranges`](Self::shard_ranges) for an already-prepared space
+    /// (no re-materialization).
+    pub fn shard_ranges_prepared(&self, space: &VariantSpace) -> Vec<Range<u64>> {
+        self.ranges_for_total(space.total(self.config.budget))
+    }
+
+    /// Materializes the skeleton's variant space once, for repeated (or
+    /// cross-thread) shard streaming without re-materializing per shard —
+    /// the worker-pool entry point: prepare per file, then stream any
+    /// shard from any thread via
+    /// [`ShardedEnumerator::enumerate_shard_prepared`].
+    pub fn prepare(&self, sk: &Skeleton) -> VariantSpace {
+        let (fragments, truncated) = materialize_fragments(&self.config, sk);
+        VariantSpace {
+            fragments,
+            truncated,
+        }
+    }
+
+    /// Streams one shard of an already-[`prepare`](Self::prepare)d space,
+    /// with the same contract as [`ShardedEnumerator::enumerate_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn enumerate_shard_prepared<F>(
+        &self,
+        space: &VariantSpace,
+        shard: usize,
+        visit: &mut F,
+    ) -> EnumerationOutcome
+    where
+        F: FnMut(&Variant) -> ControlFlow<()>,
+    {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        let mut truncated = space.truncated;
+        let total = emission_total(&space.fragments, self.config.budget, &mut truncated);
+        let range = self.ranges_for_total(total).swap_remove(shard);
+        let (emitted, broke) = stream_index_range(&space.fragments, range, None, visit);
+        EnumerationOutcome {
+            emitted,
+            truncated: truncated || broke,
+        }
+    }
+
+    fn ranges_for_total(&self, total: u64) -> Vec<Range<u64>> {
+        let k = self.shards as u128;
+        let cut = |i: u128| (total as u128 * i / k) as u64;
+        (0..self.shards as u128)
+            .map(|i| cut(i)..cut(i + 1))
+            .collect()
+    }
+
+    /// Streams one shard serially through `visit` — the resumption entry
+    /// point for external worker pools (each worker picks a shard index
+    /// and enumerates only that slice). `emitted` counts this shard's
+    /// variants; `truncated` reports the global budget cut or an early
+    /// break, exactly as for [`Enumerator::enumerate`].
+    ///
+    /// Convenience that materializes the space per call: a pool running
+    /// several shards of one skeleton should [`prepare`](Self::prepare)
+    /// once and call
+    /// [`enumerate_shard_prepared`](Self::enumerate_shard_prepared) per
+    /// shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn enumerate_shard<F>(
+        &self,
+        sk: &Skeleton,
+        shard: usize,
+        visit: &mut F,
+    ) -> EnumerationOutcome
+    where
+        F: FnMut(&Variant) -> ControlFlow<()>,
+    {
+        self.enumerate_shard_prepared(&self.prepare(sk), shard, visit)
+    }
+
+    /// Enumerates the whole space with one thread per shard.
+    ///
+    /// `visit` observes every variant exactly once, with globally stable
+    /// indices, but *interleaved across shards* — callers needing serial
+    /// order should order by [`Variant::index`] (or use
+    /// [`ShardedEnumerator::collect_sources`], which merges for free).
+    /// `emitted` is the total across shards. A [`ControlFlow::Break`] from
+    /// any shard raises a shared stop flag that halts the others at their
+    /// next variant; unlike the serial enumerator, variants already in
+    /// flight on sibling threads may still be visited.
+    pub fn enumerate<F>(&self, sk: &Skeleton, visit: &F) -> EnumerationOutcome
+    where
+        F: Fn(&Variant) -> ControlFlow<()> + Sync,
+    {
+        let (fragments, mut truncated) = materialize_fragments(&self.config, sk);
+        let total = emission_total(&fragments, self.config.budget, &mut truncated);
+        if self.shards == 1 || total <= 1 {
+            let (emitted, broke) =
+                stream_index_range(&fragments, 0..total, None, &mut |v| visit(v));
+            return EnumerationOutcome {
+                emitted,
+                truncated: truncated || broke,
+            };
+        }
+        let stop = AtomicBool::new(false);
+        let fragments = &fragments;
+        let stop_ref = &stop;
+        let mut emitted = 0u64;
+        let mut broke = false;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .ranges_for_total(total)
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        stream_index_range(fragments, range, Some(stop_ref), &mut |v| visit(v))
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let (shard_emitted, shard_broke) = handle.join().expect("shard worker panicked");
+                emitted += shard_emitted;
+                broke |= shard_broke;
+            }
+        });
+        EnumerationOutcome {
+            emitted,
+            truncated: truncated || broke,
+        }
+    }
+
+    /// Collects realized variant sources using all shards in parallel and
+    /// merges them in shard order — byte-identical to the serial
+    /// [`Enumerator::collect_sources`].
+    pub fn collect_sources(&self, sk: &Skeleton) -> Vec<String> {
+        let (fragments, mut truncated) = materialize_fragments(&self.config, sk);
+        let total = emission_total(&fragments, self.config.budget, &mut truncated);
+        let fragments = &fragments;
+        let ranges = self.ranges_for_total(total);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| {
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity((range.end - range.start) as usize);
+                        stream_index_range(fragments, range, None, &mut |v| {
+                            out.push(v.source(sk));
+                            ControlFlow::Continue(())
+                        });
+                        out
+                    })
+                })
+                .collect();
+            let mut merged = Vec::with_capacity(total as usize);
+            for handle in handles {
+                merged.extend(handle.join().expect("shard worker panicked"));
+            }
+            merged
+        })
     }
 }
 
@@ -314,10 +619,8 @@ mod tests {
     use super::*;
 
     fn fig1() -> Skeleton {
-        Skeleton::from_source(
-            "int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }",
-        )
-        .expect("builds")
+        Skeleton::from_source("int main() { int a, b = 1; b = b - a; if (a) a = a - b; return 0; }")
+            .expect("builds")
     }
 
     #[test]
@@ -461,10 +764,8 @@ mod tests {
 
     #[test]
     fn multi_function_product() {
-        let sk = Skeleton::from_source(
-            "int g, h; void f() { g = h; } void k() { h = g; }",
-        )
-        .expect("builds");
+        let sk = Skeleton::from_source("int g, h; void f() { g = h; } void k() { h = g; }")
+            .expect("builds");
         // Each function: 2 holes over 2 globals -> {2 1} + {2 2} = 2; the
         // intra product is 4.
         assert_eq!(spe_count(&sk, Granularity::Intra).to_u64(), Some(4));
@@ -476,10 +777,8 @@ mod tests {
 
     #[test]
     fn multi_type_product() {
-        let sk = Skeleton::from_source(
-            "int a, b; double x, y; void f() { a = b; x = y; }",
-        )
-        .expect("builds");
+        let sk = Skeleton::from_source("int a, b; double x, y; void f() { a = b; x = y; }")
+            .expect("builds");
         // Each type group: 2 holes over 2 vars -> 2; product 4.
         assert_eq!(spe_count(&sk, Granularity::Intra).to_u64(), Some(4));
     }
@@ -511,6 +810,178 @@ mod tests {
         );
     }
 
+    /// Serial reference: (index, source) pairs in emission order.
+    fn serial_sequence(sk: &Skeleton, config: EnumeratorConfig) -> Vec<(u64, String)> {
+        let mut out = Vec::new();
+        Enumerator::new(config).enumerate(sk, &mut |v| {
+            out.push((v.index, v.source(sk)));
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    fn fig6() -> Skeleton {
+        Skeleton::from_source(
+            r#"
+            int main() {
+                int a = 1, b = 0;
+                if (a) {
+                    int c = 3, d = 5;
+                    b = c + d;
+                }
+                printf("%d", a);
+                printf("%d", b);
+                return 0;
+            }
+            "#,
+        )
+        .expect("builds")
+    }
+
+    #[test]
+    fn shard_union_is_exactly_the_serial_sequence_for_every_algorithm() {
+        // The union of all shards must enumerate exactly the serial
+        // sequence — no duplicates, no gaps — for every Algorithm variant
+        // and several shard counts, on both a flat and a scoped skeleton.
+        for sk in [fig1(), fig6()] {
+            for algorithm in [
+                Algorithm::Paper,
+                Algorithm::Canonical,
+                Algorithm::Orbit,
+                Algorithm::Naive,
+            ] {
+                let config = EnumeratorConfig {
+                    algorithm,
+                    budget: 1_000_000,
+                    ..Default::default()
+                };
+                let serial = serial_sequence(&sk, config);
+                for shards in [1usize, 2, 3, 4, 7, 8] {
+                    let sharded = ShardedEnumerator::new(config, shards);
+                    let space = sharded.prepare(&sk);
+                    let mut union: Vec<(u64, String)> = Vec::new();
+                    for shard in 0..shards {
+                        sharded.enumerate_shard_prepared(&space, shard, &mut |v| {
+                            union.push((v.index, v.source(&sk)));
+                            ControlFlow::Continue(())
+                        });
+                    }
+                    assert_eq!(
+                        union, serial,
+                        "{algorithm:?} with {shards} shards diverged from serial"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_cover_the_space_without_overlap() {
+        let sk = fig1();
+        for shards in 1..=9usize {
+            let e = ShardedEnumerator::new(EnumeratorConfig::default(), shards);
+            let ranges = e.shard_ranges(&sk);
+            assert_eq!(ranges.len(), shards);
+            assert_eq!(ranges[0].start, 0);
+            assert_eq!(ranges[ranges.len() - 1].end, 64);
+            for w in ranges.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "gap or overlap at {w:?}");
+            }
+            // Near-even: sizes differ by at most one variant.
+            let sizes: Vec<u64> = ranges.iter().map(|r| r.end - r.start).collect();
+            let min = sizes.iter().min().expect("non-empty");
+            let max = sizes.iter().max().expect("non-empty");
+            assert!(max - min <= 1, "uneven shard sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_enumerate_visits_every_variant_once() {
+        use std::sync::Mutex;
+        let sk = fig6();
+        let config = EnumeratorConfig {
+            budget: 1_000_000,
+            ..Default::default()
+        };
+        let serial = serial_sequence(&sk, config);
+        let seen = Mutex::new(Vec::new());
+        let outcome = ShardedEnumerator::new(config, 4).enumerate(&sk, &|v| {
+            seen.lock()
+                .expect("poisoned")
+                .push((v.index, v.source(&sk)));
+            ControlFlow::Continue(())
+        });
+        let mut seen = seen.into_inner().expect("poisoned");
+        seen.sort();
+        assert_eq!(seen, serial);
+        assert_eq!(outcome.emitted, serial.len() as u64);
+        assert!(!outcome.truncated);
+    }
+
+    #[test]
+    fn sharded_collect_sources_is_byte_identical_to_serial() {
+        for sk in [fig1(), fig6()] {
+            let serial = Enumerator::new(EnumeratorConfig::default()).collect_sources(&sk);
+            for shards in [2usize, 4, 8] {
+                let merged = ShardedEnumerator::new(EnumeratorConfig::default(), shards)
+                    .collect_sources(&sk);
+                assert_eq!(serial, merged, "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_budget_truncation_matches_serial() {
+        let sk = fig1();
+        let config = EnumeratorConfig {
+            budget: 10,
+            ..Default::default()
+        };
+        let serial = Enumerator::new(config).collect_sources(&sk);
+        assert_eq!(serial.len(), 10);
+        let sharded = ShardedEnumerator::new(config, 4);
+        assert_eq!(sharded.collect_sources(&sk), serial);
+        let outcome = sharded.enumerate(&sk, &|_| ControlFlow::Continue(()));
+        assert_eq!(outcome.emitted, 10);
+        assert!(outcome.truncated);
+    }
+
+    #[test]
+    fn parallel_break_stops_all_shards() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let sk = fig6();
+        let config = EnumeratorConfig {
+            budget: 1_000_000,
+            ..Default::default()
+        };
+        let count = AtomicU64::new(0);
+        let outcome = ShardedEnumerator::new(config, 4).enumerate(&sk, &|_| {
+            if count.fetch_add(1, Ordering::Relaxed) >= 2 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(outcome.truncated);
+        // Every shard halts promptly: nothing close to the full space runs.
+        let total = Enumerator::new(config)
+            .enumerate(&sk, &mut |_| ControlFlow::Continue(()))
+            .emitted;
+        assert!(
+            outcome.emitted < total,
+            "break did not stop shards ({} of {total})",
+            outcome.emitted
+        );
+    }
+
+    #[test]
+    fn more_shards_than_variants_still_covers_exactly() {
+        let sk = Skeleton::from_source("int a, b; void f() { a = b; }").expect("builds");
+        let serial = Enumerator::new(EnumeratorConfig::default()).collect_sources(&sk);
+        let merged = ShardedEnumerator::new(EnumeratorConfig::default(), 16).collect_sources(&sk);
+        assert_eq!(serial, merged);
+    }
+
     #[test]
     fn original_alpha_class_is_among_paper_variants() {
         // The paper enumeration emits canonical representatives: the
@@ -518,11 +989,7 @@ mod tests {
         // holes), not necessarily verbatim.
         let sk = fig1();
         let original_rgs = {
-            let labels: Vec<usize> = sk
-                .holes()
-                .iter()
-                .map(|h| h.var.0)
-                .collect();
+            let labels: Vec<usize> = sk.holes().iter().map(|h| h.var.0).collect();
             spe_combinatorics::labels_to_rgs(&labels)
         };
         let e = Enumerator::new(EnumeratorConfig::default());

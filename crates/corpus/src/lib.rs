@@ -297,8 +297,16 @@ fn gen_pointer_file(rng: &mut SmallRng) -> String {
     g.indent += 1;
     g.scopes.push(Vec::new());
     // Two pointers; whether they alias depends on enumeration.
-    let t1 = if rng.gen_bool(0.5) { a.clone() } else { b.clone() };
-    let t2 = if rng.gen_bool(0.5) { a.clone() } else { b.clone() };
+    let t1 = if rng.gen_bool(0.5) {
+        a.clone()
+    } else {
+        b.clone()
+    };
+    let t2 = if rng.gen_bool(0.5) {
+        a.clone()
+    } else {
+        b.clone()
+    };
     g.line(&format!("int *p = &{t1}, *q = &{t2};"));
     g.line(&format!("*p = {};", rng.gen_range(1..5)));
     g.line(&format!("*q = {};", rng.gen_range(5..9)));
@@ -383,8 +391,16 @@ fn gen_struct_file(rng: &mut SmallRng) -> String {
     g.scopes.push(Vec::new());
     // Nested conditional expressions over the int globals — the Figure 3
     // shape; which variables repeat is up to enumeration.
-    let x = if rng.gen_bool(0.5) { d.clone() } else { e.clone() };
-    let y = if rng.gen_bool(0.5) { d.clone() } else { e.clone() };
+    let x = if rng.gen_bool(0.5) {
+        d.clone()
+    } else {
+        e.clone()
+    };
+    let y = if rng.gen_bool(0.5) {
+        d.clone()
+    } else {
+        e.clone()
+    };
     g.line(&format!(
         "{d} = {x} ? ({y} == 0 ? 1 : 2) : ({x} == 0 ? 3 : 4);"
     ));
@@ -395,9 +411,7 @@ fn gen_struct_file(rng: &mut SmallRng) -> String {
 }
 
 fn gen_multitype_file(rng: &mut SmallRng) -> String {
-    const TYPES: &[&str] = &[
-        "int", "unsigned", "long", "char", "double", "float",
-    ];
+    const TYPES: &[&str] = &["int", "unsigned", "long", "char", "double", "float"];
     let mut g = Gen::new();
     let ngroups = rng.gen_range(4..=TYPES.len() + 4);
     // Declare 2-3 variables per type group (pointer variants double the
@@ -494,7 +508,10 @@ mod tests {
 
     #[test]
     fn all_files_parse_and_analyze() {
-        let files = generate(&CorpusConfig { files: 300, seed: 42 });
+        let files = generate(&CorpusConfig {
+            files: 300,
+            seed: 42,
+        });
         for f in &files {
             Skeleton::from_source(&f.source)
                 .unwrap_or_else(|e| panic!("{}: {e}\n{}", f.name, f.source));
@@ -503,7 +520,10 @@ mod tests {
 
     #[test]
     fn corpus_has_structural_diversity() {
-        let files = generate(&CorpusConfig { files: 400, seed: 42 });
+        let files = generate(&CorpusConfig {
+            files: 400,
+            seed: 42,
+        });
         let has = |needle: &str| files.iter().any(|f| f.source.contains(needle));
         assert!(has("struct s"), "struct files present");
         assert!(has("*p = "), "pointer files present");
@@ -514,7 +534,10 @@ mod tests {
 
     #[test]
     fn tail_files_have_many_holes() {
-        let files = generate(&CorpusConfig { files: 400, seed: 42 });
+        let files = generate(&CorpusConfig {
+            files: 400,
+            seed: 42,
+        });
         let max_holes = files
             .iter()
             .map(|f| {
@@ -529,7 +552,10 @@ mod tests {
 
     #[test]
     fn most_files_are_small() {
-        let files = generate(&CorpusConfig { files: 400, seed: 42 });
+        let files = generate(&CorpusConfig {
+            files: 400,
+            seed: 42,
+        });
         let small = files
             .iter()
             .filter(|f| {

@@ -86,12 +86,30 @@ int main() {
 /// All seed programs with names.
 pub fn all() -> Vec<TestFile> {
     vec![
-        TestFile { name: "seeds/figure1.c".into(), source: FIGURE_1.into() },
-        TestFile { name: "seeds/figure2.c".into(), source: FIGURE_2.into() },
-        TestFile { name: "seeds/figure3.c".into(), source: FIGURE_3.into() },
-        TestFile { name: "seeds/figure11b.c".into(), source: FIGURE_11B.into() },
-        TestFile { name: "seeds/figure11d.c".into(), source: FIGURE_11D.into() },
-        TestFile { name: "seeds/figure12b.c".into(), source: FIGURE_12B.into() },
+        TestFile {
+            name: "seeds/figure1.c".into(),
+            source: FIGURE_1.into(),
+        },
+        TestFile {
+            name: "seeds/figure2.c".into(),
+            source: FIGURE_2.into(),
+        },
+        TestFile {
+            name: "seeds/figure3.c".into(),
+            source: FIGURE_3.into(),
+        },
+        TestFile {
+            name: "seeds/figure11b.c".into(),
+            source: FIGURE_11B.into(),
+        },
+        TestFile {
+            name: "seeds/figure11d.c".into(),
+            source: FIGURE_11D.into(),
+        },
+        TestFile {
+            name: "seeds/figure12b.c".into(),
+            source: FIGURE_12B.into(),
+        },
     ]
 }
 

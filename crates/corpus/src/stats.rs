@@ -69,7 +69,10 @@ mod tests {
         // types, 3.46 vars/hole on average; the synthetic corpus should
         // land in the same ballpark (not exactly — it is a different
         // suite).
-        let files = generate(&CorpusConfig { files: 500, seed: 42 });
+        let files = generate(&CorpusConfig {
+            files: 500,
+            seed: 42,
+        });
         let s = compute(&files);
         assert_eq!(s.files, 500);
         assert!(

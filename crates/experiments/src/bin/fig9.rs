@@ -1,4 +1,7 @@
 //! Regenerates the paper's Figure 9 (coverage improvements).
 fn main() {
-    println!("{}", spe_experiments::figure9(spe_experiments::Scale::full()).render(40));
+    println!(
+        "{}",
+        spe_experiments::figure9(spe_experiments::Scale::full()).render(40)
+    );
 }

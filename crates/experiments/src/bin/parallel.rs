@@ -1,0 +1,13 @@
+//! Parallel campaign scaling: serial baseline vs 1/2/4/N-worker runs of
+//! the trunk campaign, with a byte-identical-report check at every width.
+fn main() {
+    let workers = spe_experiments::campaign_workers();
+    let mut counts = vec![1usize, 2, 4];
+    if !counts.contains(&workers) {
+        counts.push(workers);
+    }
+    println!(
+        "{}",
+        spe_experiments::parallel_speedup(spe_experiments::Scale::quick(), &counts).render()
+    );
+}

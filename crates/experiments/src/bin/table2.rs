@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table 2 (test-suite characteristics).
 fn main() {
-    println!("{}", spe_experiments::table2(spe_experiments::Scale::full()).render());
+    println!(
+        "{}",
+        spe_experiments::table2(spe_experiments::Scale::full()).render()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates the paper's Table 3 (stable-release crash signatures).
 fn main() {
-    println!("{}", spe_experiments::table3(spe_experiments::Scale::full()).render());
+    println!(
+        "{}",
+        spe_experiments::table3(spe_experiments::Scale::full()).render()
+    );
 }

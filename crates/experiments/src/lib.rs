@@ -7,11 +7,11 @@
 //! `EXPERIMENTS.md`.
 
 use spe_bignum::BigUint;
-use spe_core::{spe_count, naive_count, Granularity, Skeleton};
+use spe_core::{naive_count, spe_count, Granularity, Skeleton};
 use spe_corpus::{generate, seeds, stats, CorpusConfig, TestFile};
 use spe_harness::coverage_run::figure9 as run_figure9;
 use spe_harness::triage::{figure10 as run_figure10, table4 as run_table4};
-use spe_harness::{run_campaign, CampaignConfig, FindingKind};
+use spe_harness::{run_campaign, run_campaign_parallel, CampaignConfig, FindingKind};
 use spe_report::{figure8_bucket_of, figure8_buckets, Histogram, Table};
 use spe_simcc::bugs::GCC_VERSIONS;
 use spe_simcc::{Compiler, CompilerId};
@@ -156,7 +156,14 @@ pub fn table2(scale: Scale) -> Table {
     let enumerated = stats::compute(&kept);
     let mut t = Table::new(
         "Table 2: test-suite characteristics",
-        &["Test-Suite", "#Holes", "#Scopes", "#Funcs", "#Types", "#Vars/hole"],
+        &[
+            "Test-Suite",
+            "#Holes",
+            "#Scopes",
+            "#Funcs",
+            "#Types",
+            "#Vars/hole",
+        ],
     );
     for (name, s) in [("Original", all), ("Enumerated", enumerated)] {
         t.row(&[
@@ -225,6 +232,67 @@ impl Exp10Clamped for f64 {
     }
 }
 
+/// Worker-pool width for campaign experiments: one worker per hardware
+/// thread. Campaign reports are byte-identical for every worker count, so
+/// this only affects wall-clock time.
+pub fn campaign_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Measures the parallel campaign against the serial baseline at several
+/// worker counts, asserting byte-identical reports, and renders the
+/// timings. The workload is the Table 4 trunk configuration.
+pub fn parallel_speedup(scale: Scale, worker_counts: &[usize]) -> Table {
+    let mut files = seeds::all();
+    files.extend(generate(&CorpusConfig {
+        files: scale.corpus_files / 4,
+        seed: 45,
+    }));
+    let config = CampaignConfig {
+        budget: scale.budget,
+        check_wrong_code: true,
+        ..Default::default()
+    };
+    let serial_start = std::time::Instant::now();
+    let serial = run_campaign(&files, &config);
+    let serial_time = serial_start.elapsed();
+    let mut t = Table::new(
+        "Parallel campaign scaling (byte-identical reports)",
+        &[
+            "Workers",
+            "Wall time",
+            "Speedup",
+            "Findings",
+            "Identical to serial",
+        ],
+    );
+    t.row(&[
+        "1 (serial)".to_string(),
+        format!("{serial_time:.2?}"),
+        "1.00x".to_string(),
+        serial.findings.len().to_string(),
+        "-".to_string(),
+    ]);
+    for &workers in worker_counts {
+        let start = std::time::Instant::now();
+        let parallel = run_campaign_parallel(&files, &config, workers);
+        let elapsed = start.elapsed();
+        let speedup = serial_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
+        assert_eq!(
+            parallel, serial,
+            "parallel campaign with {workers} workers diverged from serial"
+        );
+        t.row(&[
+            workers.to_string(),
+            format!("{elapsed:.2?}"),
+            format!("{speedup:.2}x"),
+            parallel.findings.len().to_string(),
+            "yes".to_string(),
+        ]);
+    }
+    t
+}
+
 /// Table 3: crash signatures found on the stable releases, via an SPE
 /// campaign of the corpus + seeds against gcc-sim 4.8.5 and clang-sim
 /// 3.6.
@@ -234,7 +302,7 @@ pub fn table3(scale: Scale) -> Table {
         files: scale.corpus_files / 4,
         seed: 43,
     }));
-    let report = run_campaign(
+    let report = run_campaign_parallel(
         &files,
         &CampaignConfig {
             compilers: vec![
@@ -247,6 +315,7 @@ pub fn table3(scale: Scale) -> Table {
             check_wrong_code: false,
             ..Default::default()
         },
+        campaign_workers(),
     );
     let mut t = Table::new(
         "Table 3: crash signatures found on stable releases",
@@ -268,7 +337,7 @@ pub fn table4(scale: Scale) -> (Table, spe_harness::CampaignReport) {
         files: scale.corpus_files / 2,
         seed: 44,
     }));
-    let report = run_campaign(
+    let report = run_campaign_parallel(
         &files,
         &CampaignConfig {
             compilers: vec![
@@ -284,13 +353,21 @@ pub fn table4(scale: Scale) -> (Table, spe_harness::CampaignReport) {
             check_wrong_code: true,
             ..Default::default()
         },
+        campaign_workers(),
     );
     let rows = run_table4(&report, &["gcc-sim", "clang-sim"]);
     let mut t = Table::new(
         "Table 4: trunk campaign overview",
         &[
-            "Compiler", "Reported", "Fixed", "Duplicate", "Invalid", "Reopened", "Crash",
-            "Wrong code", "Performance",
+            "Compiler",
+            "Reported",
+            "Fixed",
+            "Duplicate",
+            "Invalid",
+            "Reopened",
+            "Crash",
+            "Wrong code",
+            "Performance",
         ],
     );
     for r in rows {
@@ -345,7 +422,10 @@ pub fn figure10(report: &spe_harness::CampaignReport) -> Vec<Histogram> {
     };
     vec![
         mk("Figure 10(a): bug priorities", &fig.priorities),
-        mk("Figure 10(b): affected optimization levels", &fig.opt_levels),
+        mk(
+            "Figure 10(b): affected optimization levels",
+            &fig.opt_levels,
+        ),
         mk("Figure 10(c): affected gcc-sim versions", &fig.versions),
         mk("Figure 10(d): affected components", &fig.components),
     ]
@@ -368,7 +448,12 @@ pub fn generality() -> Table {
     ];
     let mut t = Table::new(
         "Generality (paper §5.3): WHILE-language campaigns",
-        &["Profile", "Crash signatures", "Wrong-code findings", "Variants"],
+        &[
+            "Profile",
+            "Crash signatures",
+            "Wrong-code findings",
+            "Variants",
+        ],
     );
     for (label, profile) in [
         ("compcert-sim", BugProfile::CompCertSim),
@@ -390,7 +475,13 @@ pub fn generality() -> Table {
                     _ => continue, // timeout or overflow: skip
                 };
                 for opt in [1u8, 2] {
-                    match compile(&variant, Options { opt_level: opt, profile }) {
+                    match compile(
+                        &variant,
+                        Options {
+                            opt_level: opt,
+                            profile,
+                        },
+                    ) {
                         Err(ice) => {
                             crashes.insert(format!("{}: {}", ice.pass, ice.message));
                         }

@@ -60,12 +60,7 @@ fn merge_coverage_of(sources: &[String], opts: &[u8]) -> Coverage {
 /// Runs the coverage comparison over `files` with a per-file variant
 /// budget. The paper samples 100 test programs and compares SPE against
 /// PM-10/20/30; `pm_deletions` configures the X values.
-pub fn figure9(
-    files: &[TestFile],
-    budget: usize,
-    pm_deletions: &[usize],
-    seed: u64,
-) -> Figure9 {
+pub fn figure9(files: &[TestFile], budget: usize, pm_deletions: &[usize], seed: u64) -> Figure9 {
     let opts: &[u8] = &[0, 3];
     // Baseline.
     let originals: Vec<String> = files.iter().map(|f| f.source.clone()).collect();
@@ -121,7 +116,10 @@ mod tests {
 
     #[test]
     fn spe_improves_coverage_more_than_mutation() {
-        let files = generate(&CorpusConfig { files: 30, seed: 42 });
+        let files = generate(&CorpusConfig {
+            files: 30,
+            seed: 42,
+        });
         let fig = figure9(&files, 12, &[1, 2, 3], 7);
         assert!(fig.baseline.line > 0.0);
         assert!(fig.spe.line >= 0.0);

@@ -15,11 +15,15 @@
 //! * [`coverage_run`] measures pass/point coverage improvements of SPE
 //!   and mutation variants over the baseline suite (Figure 9).
 
-use spe_core::{Algorithm, Enumerator, EnumeratorConfig, Granularity, Skeleton};
+use spe_core::{
+    Algorithm, EnumeratorConfig, Granularity, ShardedEnumerator, Skeleton, VariantSpace,
+};
 use spe_corpus::TestFile;
-use spe_simcc::{interp, Compiler, CompileError, CompilerId};
+use spe_simcc::{interp, CompileError, Compiler, CompilerId};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 pub mod coverage_run;
 pub mod mutation;
@@ -82,7 +86,7 @@ impl FindingKind {
 }
 
 /// One deduplicated bug report.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Kind of defect.
     pub kind: FindingKind,
@@ -106,7 +110,7 @@ pub struct Finding {
 }
 
 /// Aggregate campaign results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignReport {
     /// All unique-signature reports (including duplicates of the same
     /// root cause, as in the paper's bookkeeping).
@@ -127,13 +131,209 @@ impl CampaignReport {
 
     /// Number of duplicate reports.
     pub fn duplicates(&self) -> usize {
-        self.findings.iter().filter(|f| f.duplicate_of.is_some()).count()
+        self.findings
+            .iter()
+            .filter(|f| f.duplicate_of.is_some())
+            .count()
     }
 
     /// Findings for one compiler family.
     pub fn for_family<'a>(&'a self, family: &'a str) -> impl Iterator<Item = &'a Finding> {
-        self.findings.iter().filter(move |f| f.compiler.family == family)
+        self.findings
+            .iter()
+            .filter(move |f| f.compiler.family == family)
     }
+}
+
+/// Raw results of one (file, shard) work item before deduplication:
+/// candidate findings in emission order plus counter deltas.
+#[derive(Debug, Default)]
+struct ShardOutput {
+    /// Whether the file parsed and analyzed (reported by shard 0 only).
+    file_processed: bool,
+    /// Candidate findings in variant/compiler emission order, not yet
+    /// deduplicated (`duplicate_of` is always `None` here).
+    candidates: Vec<Finding>,
+    variants_tested: u64,
+    variants_ub_skipped: u64,
+}
+
+/// Runs every compiler over one realized variant, appending candidate
+/// findings and counter deltas to `out`. This is the single shared
+/// per-variant path of the serial and parallel campaigns — they cannot
+/// drift apart.
+fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mut ShardOutput) {
+    let Ok(prog) = spe_minic::parse(src) else {
+        return;
+    };
+    let mut reference: Option<Result<interp::Execution, interp::Ub>> = None;
+    for cc in &config.compilers {
+        out.variants_tested += 1;
+        match cc.compile(&prog) {
+            Err(CompileError::Ice(ice)) => {
+                out.candidates.push(Finding {
+                    kind: FindingKind::Crash,
+                    compiler: cc.id(),
+                    opt: cc.opt(),
+                    signature: ice.signature.to_string(),
+                    bug_id: Some(ice.bug_id),
+                    file: file.name.clone(),
+                    reproducer: src.to_string(),
+                    duplicate_of: None,
+                });
+            }
+            Err(CompileError::Unsupported(_)) => {}
+            Ok(compiled) => {
+                for slow in &compiled.slow_compile_bugs {
+                    out.candidates.push(Finding {
+                        kind: FindingKind::Performance,
+                        compiler: cc.id(),
+                        opt: cc.opt(),
+                        signature: format!(
+                            "compile time blow-up in {} at -O{}",
+                            cc.id().family,
+                            cc.opt()
+                        ),
+                        bug_id: Some(slow),
+                        file: file.name.clone(),
+                        reproducer: src.to_string(),
+                        duplicate_of: None,
+                    });
+                }
+                if config.check_wrong_code {
+                    // Evaluate the reference once per variant.
+                    if reference.is_none() {
+                        reference = Some(interp::run(
+                            &prog,
+                            interp::Limits {
+                                fuel: config.fuel,
+                                max_depth: 64,
+                            },
+                        ));
+                    }
+                    match reference.as_ref().expect("just set") {
+                        Err(_) => {
+                            // UB or non-termination: skip, per §5.4.
+                            out.variants_ub_skipped += 1;
+                        }
+                        Ok(expected) => {
+                            let got = compiled.execute(config.fuel * 4);
+                            let mismatch = match &got {
+                                Ok(run) => {
+                                    run.exit_code != expected.exit_code
+                                        || run.output != expected.output
+                                }
+                                Err(_) => true,
+                            };
+                            if mismatch {
+                                let bug_id = compiled.miscompiled_by.first().copied();
+                                out.candidates.push(Finding {
+                                    kind: FindingKind::WrongCode,
+                                    compiler: cc.id(),
+                                    opt: cc.opt(),
+                                    signature: format!(
+                                        "wrong code: {} at -O{} on {}",
+                                        cc.id().family,
+                                        cc.opt(),
+                                        file.name
+                                    ),
+                                    bug_id,
+                                    file: file.name.clone(),
+                                    reproducer: src.to_string(),
+                                    duplicate_of: None,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Processes one (file, shard) work item: enumerates the shard's slice of
+/// the file's variant space and feeds every variant to [`process_variant`].
+fn process_work_item(
+    file: &TestFile,
+    shard: usize,
+    shards_per_file: usize,
+    config: &CampaignConfig,
+) -> ShardOutput {
+    match prepare_file(file, shards_per_file, config) {
+        None => ShardOutput::default(),
+        Some((sk, space)) => process_file_shard(file, &sk, &space, shard, shards_per_file, config),
+    }
+}
+
+/// Parses and analyzes one file and materializes its variant space once;
+/// `None` when the file does not analyze. The expensive half of a work
+/// item — the parallel campaign computes it once per file and shares it
+/// across that file's shards.
+fn prepare_file(
+    file: &TestFile,
+    shards_per_file: usize,
+    config: &CampaignConfig,
+) -> Option<(Skeleton, VariantSpace)> {
+    let sk = Skeleton::from_source(&file.source).ok()?;
+    let space = campaign_enumerator(config, shards_per_file).prepare(&sk);
+    Some((sk, space))
+}
+
+fn campaign_enumerator(config: &CampaignConfig, shards_per_file: usize) -> ShardedEnumerator {
+    ShardedEnumerator::new(
+        EnumeratorConfig {
+            algorithm: config.algorithm,
+            granularity: Granularity::Intra,
+            budget: config.budget,
+        },
+        shards_per_file,
+    )
+}
+
+/// Streams one shard of a prepared file through the compilers.
+fn process_file_shard(
+    file: &TestFile,
+    sk: &Skeleton,
+    space: &VariantSpace,
+    shard: usize,
+    shards_per_file: usize,
+    config: &CampaignConfig,
+) -> ShardOutput {
+    let mut out = ShardOutput {
+        file_processed: shard == 0,
+        ..ShardOutput::default()
+    };
+    campaign_enumerator(config, shards_per_file).enumerate_shard_prepared(
+        space,
+        shard,
+        &mut |variant| {
+            let src = variant.source(sk);
+            process_variant(file, &src, config, &mut out);
+            ControlFlow::Continue(())
+        },
+    );
+    out
+}
+
+/// Folds per-item outputs into the final report **in work-item order**
+/// (file-major, shard-minor), which is exactly the serial emission order —
+/// so dedup decisions, finding order, first-reproducer choices and the
+/// triage tables derived from them are byte-identical to a serial run.
+fn merge_outputs(outputs: Vec<ShardOutput>) -> CampaignReport {
+    let mut report = CampaignReport::default();
+    // (family, signature) -> index into findings.
+    let mut seen_signatures: HashMap<(String, String), usize> = HashMap::new();
+    // (family, bug id) -> first signature.
+    let mut seen_bugs: HashMap<(String, &'static str), String> = HashMap::new();
+    for out in outputs {
+        report.files_processed += usize::from(out.file_processed);
+        report.variants_tested += out.variants_tested;
+        report.variants_ub_skipped += out.variants_ub_skipped;
+        for finding in out.candidates {
+            record(&mut report, &mut seen_signatures, &mut seen_bugs, finding);
+        }
+    }
+    report
 }
 
 /// Runs an SPE bug-hunting campaign over `files`.
@@ -142,130 +342,72 @@ impl CampaignReport {
 /// UB-checking reference interpreter first and skips undefined variants,
 /// exactly as §5.4 prescribes.
 pub fn run_campaign(files: &[TestFile], config: &CampaignConfig) -> CampaignReport {
-    let mut report = CampaignReport::default();
-    // (family, signature) -> index into findings.
-    let mut seen_signatures: HashMap<(String, String), usize> = HashMap::new();
-    // (family, bug id) -> first signature.
-    let mut seen_bugs: HashMap<(String, &'static str), String> = HashMap::new();
+    merge_outputs(
+        files
+            .iter()
+            .map(|file| process_work_item(file, 0, 1, config))
+            .collect(),
+    )
+}
 
-    for file in files {
-        let Ok(sk) = Skeleton::from_source(&file.source) else {
-            continue;
-        };
-        report.files_processed += 1;
-        let enumerator = Enumerator::new(EnumeratorConfig {
-            algorithm: config.algorithm,
-            granularity: Granularity::Intra,
-            budget: config.budget,
-        });
-        enumerator.enumerate(&sk, &mut |variant| {
-            let src = variant.source(&sk);
-            let Ok(prog) = spe_minic::parse(&src) else {
-                return ControlFlow::Continue(());
-            };
-            let mut reference: Option<Result<interp::Execution, interp::Ub>> = None;
-            for cc in &config.compilers {
-                report.variants_tested += 1;
-                match cc.compile(&prog) {
-                    Err(CompileError::Ice(ice)) => {
-                        record(
-                            &mut report,
-                            &mut seen_signatures,
-                            &mut seen_bugs,
-                            Finding {
-                                kind: FindingKind::Crash,
-                                compiler: cc.id(),
-                                opt: cc.opt(),
-                                signature: ice.signature.to_string(),
-                                bug_id: Some(ice.bug_id),
-                                file: file.name.clone(),
-                                reproducer: src.clone(),
-                                duplicate_of: None,
-                            },
-                        );
-                    }
-                    Err(CompileError::Unsupported(_)) => {}
-                    Ok(compiled) => {
-                        for slow in &compiled.slow_compile_bugs {
-                            record(
-                                &mut report,
-                                &mut seen_signatures,
-                                &mut seen_bugs,
-                                Finding {
-                                    kind: FindingKind::Performance,
-                                    compiler: cc.id(),
-                                    opt: cc.opt(),
-                                    signature: format!(
-                                        "compile time blow-up in {} at -O{}",
-                                        cc.id().family,
-                                        cc.opt()
-                                    ),
-                                    bug_id: Some(slow),
-                                    file: file.name.clone(),
-                                    reproducer: src.clone(),
-                                    duplicate_of: None,
-                                },
-                            );
-                        }
-                        if config.check_wrong_code {
-                            // Evaluate the reference once per variant.
-                            if reference.is_none() {
-                                reference = Some(interp::run(
-                                    &prog,
-                                    interp::Limits {
-                                        fuel: config.fuel,
-                                        max_depth: 64,
-                                    },
-                                ));
-                            }
-                            match reference.as_ref().expect("just set") {
-                                Err(_) => {
-                                    // UB or non-termination: skip, per §5.4.
-                                    report.variants_ub_skipped += 1;
-                                }
-                                Ok(expected) => {
-                                    let got = compiled.execute(config.fuel * 4);
-                                    let mismatch = match &got {
-                                        Ok(out) => {
-                                            out.exit_code != expected.exit_code
-                                                || out.output != expected.output
-                                        }
-                                        Err(_) => true,
-                                    };
-                                    if mismatch {
-                                        let bug_id =
-                                            compiled.miscompiled_by.first().copied();
-                                        record(
-                                            &mut report,
-                                            &mut seen_signatures,
-                                            &mut seen_bugs,
-                                            Finding {
-                                                kind: FindingKind::WrongCode,
-                                                compiler: cc.id(),
-                                                opt: cc.opt(),
-                                                signature: format!(
-                                                    "wrong code: {} at -O{} on {}",
-                                                    cc.id().family,
-                                                    cc.opt(),
-                                                    file.name
-                                                ),
-                                                bug_id,
-                                                file: file.name.clone(),
-                                                reproducer: src.clone(),
-                                                duplicate_of: None,
-                                            },
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-            ControlFlow::Continue(())
-        });
+/// Runs the campaign with a pool of `workers` threads, fanning
+/// `files × shards` work items across the pool (each file's variant space
+/// is cut into `workers` shards, so even a single large file parallelizes).
+///
+/// The merged [`CampaignReport`] — finding order, dedup decisions,
+/// reproducers and counters — is **byte-identical** to [`run_campaign`] on
+/// the same inputs, for any worker count: outputs are folded in
+/// deterministic (file, shard) order regardless of completion order, and
+/// within that order findings keep their stable (file, compiler,
+/// signature) emission sequence.
+pub fn run_campaign_parallel(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+) -> CampaignReport {
+    let workers = workers.max(1);
+    if workers == 1 || files.is_empty() {
+        return run_campaign(files, config);
     }
-    report
+    let shards_per_file = workers;
+    let items: Vec<(usize, usize)> = (0..files.len())
+        .flat_map(|f| (0..shards_per_file).map(move |s| (f, s)))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let outputs: Mutex<Vec<Option<ShardOutput>>> =
+        Mutex::new((0..items.len()).map(|_| None).collect());
+    // Per-file skeleton + materialized variant space, computed once by
+    // whichever worker reaches the file first and shared by the rest.
+    let prepared: Vec<OnceLock<Option<(Skeleton, VariantSpace)>>> =
+        (0..files.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(file_idx, shard)) = items.get(i) else {
+                    return;
+                };
+                let file = &files[file_idx];
+                let out = match prepared[file_idx]
+                    .get_or_init(|| prepare_file(file, shards_per_file, config))
+                {
+                    None => ShardOutput::default(),
+                    Some((sk, space)) => {
+                        process_file_shard(file, sk, space, shard, shards_per_file, config)
+                    }
+                };
+                outputs.lock().expect("poisoned")[i] = Some(out);
+            });
+        }
+    });
+    merge_outputs(
+        outputs
+            .into_inner()
+            .expect("poisoned")
+            .into_iter()
+            .map(|o| o.expect("every work item completed"))
+            .collect(),
+    )
 }
 
 fn record(
@@ -393,7 +535,10 @@ mod tests {
             "false positives: {:?}",
             report.findings
         );
-        assert!(report.variants_ub_skipped > 0, "some variants divide by zero");
+        assert!(
+            report.variants_ub_skipped > 0,
+            "some variants divide by zero"
+        );
     }
 
     #[test]

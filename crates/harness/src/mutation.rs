@@ -132,7 +132,8 @@ fn rewrite(s: &Stmt, kill: &[usize], counter: &mut usize) -> Stmt {
 mod tests {
     use super::*;
 
-    const SRC: &str = "int a, b; int main() { a = 1; b = 2; a = a + b; if (a) { b = 3; } return a; }";
+    const SRC: &str =
+        "int a, b; int main() { a = 1; b = 2; a = a + b; if (a) { b = 3; } return a; }";
 
     #[test]
     fn mutants_parse_and_differ() {

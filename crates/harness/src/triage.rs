@@ -50,7 +50,10 @@ pub fn table4(report: &CampaignReport, families: &[&str]) -> Vec<Table4Row> {
                 duplicate: findings.iter().filter(|f| f.duplicate_of.is_some()).count(),
                 invalid: 0,
                 reopened: 0,
-                crash: findings.iter().filter(|f| f.kind == FindingKind::Crash).count(),
+                crash: findings
+                    .iter()
+                    .filter(|f| f.kind == FindingKind::Crash)
+                    .count(),
                 wrong_code: findings
                     .iter()
                     .filter(|f| f.kind == FindingKind::WrongCode)
@@ -144,8 +147,7 @@ pub fn figure10(report: &CampaignReport, family: &str, versions: &[u32]) -> Figu
     names.sort();
     names.dedup();
     for name in names {
-        let subset: Vec<&&BugSpec> =
-            bugs.iter().filter(|b| b.component.name() == name).collect();
+        let subset: Vec<&&BugSpec> = bugs.iter().filter(|b| b.component.name() == name).collect();
         components.push((
             name.to_string(),
             subset.len(),

@@ -169,7 +169,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         pos,
                     })?;
                     skip_int_suffix(bytes, &mut i, &mut line, &mut col);
-                    out.push(Token { tok: Tok::Int(v), pos });
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        pos,
+                    });
                 } else {
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         bump!();
@@ -180,14 +183,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         pos,
                     })?;
                     skip_int_suffix(bytes, &mut i, &mut line, &mut col);
-                    out.push(Token { tok: Tok::Int(v), pos });
+                    out.push(Token {
+                        tok: Tok::Int(v),
+                        pos,
+                    });
                 }
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 out.push(Token {
@@ -223,7 +227,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     });
                 }
                 bump!();
-                out.push(Token { tok: Tok::Char(v), pos });
+                out.push(Token {
+                    tok: Tok::Char(v),
+                    pos,
+                });
             }
             b'"' => {
                 bump!();
@@ -245,7 +252,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 }
                 let body = src[start..i].to_string();
                 bump!();
-                out.push(Token { tok: Tok::Str(body), pos });
+                out.push(Token {
+                    tok: Tok::Str(body),
+                    pos,
+                });
             }
             _ => {
                 let rest = &src[i..];
@@ -261,7 +271,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                         for _ in 0..p.len() {
                             bump!();
                         }
-                        out.push(Token { tok: Tok::Punct(p), pos });
+                        out.push(Token {
+                            tok: Tok::Punct(p),
+                            pos,
+                        });
                     }
                     None => {
                         return Err(LexError {
@@ -310,7 +323,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<Tok> {
-        lex(src).expect("lexes").into_iter().map(|t| t.tok).collect()
+        lex(src)
+            .expect("lexes")
+            .into_iter()
+            .map(|t| t.tok)
+            .collect()
     }
 
     #[test]
@@ -369,9 +386,10 @@ mod tests {
 
     #[test]
     fn hex_and_suffixed_literals() {
-        assert_eq!(kinds("0x10 42u 7L"), vec![
-            Tok::Int(16), Tok::Int(42), Tok::Int(7), Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("0x10 42u 7L"),
+            vec![Tok::Int(16), Tok::Int(42), Tok::Int(7), Tok::Eof]
+        );
     }
 
     #[test]

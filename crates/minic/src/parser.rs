@@ -266,10 +266,7 @@ impl Parser {
             self.eat_keyword("long");
             self.eat_keyword("char");
             BaseType::UInt
-        } else if self.eat_keyword("signed") {
-            self.eat_keyword("int");
-            BaseType::Int
-        } else if self.eat_keyword("short") {
+        } else if self.eat_keyword("signed") || self.eat_keyword("short") {
             self.eat_keyword("int");
             BaseType::Int
         } else if self.eat_keyword("long") {
@@ -786,7 +783,10 @@ mod tests {
             .body
             .iter()
             .any(|s| matches!(s, Stmt::Label(l, _) if l == "trick")));
-        assert!(f.body.iter().any(|s| matches!(s, Stmt::Goto(l) if l == "trick")));
+        assert!(f
+            .body
+            .iter()
+            .any(|s| matches!(s, Stmt::Goto(l) if l == "trick")));
     }
 
     #[test]

@@ -429,9 +429,7 @@ mod tests {
     #[test]
     fn roundtrips_paper_programs() {
         roundtrip("int a, b = 1; int main() { b = b - a; if (a) a = a - b; return 0; }");
-        roundtrip(
-            "int a = 0; int main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }",
-        );
+        roundtrip("int a = 0; int main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }");
         roundtrip(
             "struct s { char c[1]; }; struct s a, b, c; int d; int e; \
              void bar(void) { e ? (d==0 ? b : c).c : (d==0 ? b : c).c; }",
@@ -450,7 +448,9 @@ mod tests {
 
     #[test]
     fn roundtrips_control_flow() {
-        roundtrip("int i; void f() { do { i++; } while (i < 3); for (int j = 0; j < 4; j++) i += j; }");
+        roundtrip(
+            "int i; void f() { do { i++; } while (i < 3); for (int j = 0; j < 4; j++) i += j; }",
+        );
         roundtrip("int x; void f() { while (x) if (x > 2) break; else continue; }");
     }
 
@@ -492,6 +492,8 @@ mod tests {
 
     #[test]
     fn printed_ternary_member_is_parenthesized() {
-        roundtrip("struct s { char c[1]; }; struct s b, c; int d; void f() { (d == 0 ? b : c).c; }");
+        roundtrip(
+            "struct s { char c[1]; }; struct s b, c; int d; void f() { (d == 0 ? b : c).c; }",
+        );
     }
 }

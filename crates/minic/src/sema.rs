@@ -294,7 +294,12 @@ impl Analyzer {
         id
     }
 
-    fn declare(&mut self, d: &VarDeclarator, scope: ScopeId, kind: VarKind) -> Result<(), SemaError> {
+    fn declare(
+        &mut self,
+        d: &VarDeclarator,
+        scope: ScopeId,
+        kind: VarKind,
+    ) -> Result<(), SemaError> {
         // The declared name is in scope inside its own initializer (C99
         // §6.2.1p7), so declare first.
         self.declare_raw(&d.name, &d.ty, scope, kind);

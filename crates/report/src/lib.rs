@@ -136,12 +136,7 @@ impl Histogram {
             .flat_map(|(_, v)| v.iter())
             .fold(0.0f64, |a, &b| a.max(b))
             .max(1e-12);
-        let name_w = self
-            .series
-            .iter()
-            .map(|(n, _)| n.len())
-            .max()
-            .unwrap_or(0);
+        let name_w = self.series.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         let label_w = self.labels.iter().map(|l| l.len()).max().unwrap_or(0);
         let mut out = String::new();
         out.push_str(&format!("== {} ==\n", self.title));
@@ -170,9 +165,7 @@ impl Histogram {
 /// The per-file variant-count buckets of Figure 8:
 /// `[1,10), [10,10^2), …, [10^9,10^10), >= 10^10`.
 pub fn figure8_buckets() -> Vec<String> {
-    let mut labels: Vec<String> = (0..10)
-        .map(|e| format!("[1e{e},1e{})", e + 1))
-        .collect();
+    let mut labels: Vec<String> = (0..10).map(|e| format!("[1e{e},1e{})", e + 1)).collect();
     labels.push(">=1e10".to_string());
     labels
 }
@@ -218,10 +211,7 @@ mod tests {
 
     #[test]
     fn histogram_renders_all_series() {
-        let mut h = Histogram::new(
-            "Fig",
-            vec!["[1,10)".into(), "[10,100)".into()],
-        );
+        let mut h = Histogram::new("Fig", vec!["[1,10)".into(), "[10,100)".into()]);
         h.series("Naive", vec![0.29, 0.4]);
         h.series("Our", vec![0.46, 0.3]);
         let s = h.render(30);

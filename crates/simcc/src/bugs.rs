@@ -163,7 +163,7 @@ pub struct BugSpec {
 impl BugSpec {
     /// Whether the bug is live in `version`.
     pub fn live_in(&self, version: u32) -> bool {
-        self.introduced <= version && self.fixed.map_or(true, |f| version < f)
+        self.introduced <= version && self.fixed.is_none_or(|f| version < f)
     }
 
     /// Whether the bug fires at `opt` for a program matching its trigger.
@@ -172,7 +172,7 @@ impl BugSpec {
     }
 
     /// All versions from `versions` affected by this bug.
-    pub fn affected_versions<'a>(&self, versions: &'a [u32]) -> Vec<u32> {
+    pub fn affected_versions(&self, versions: &[u32]) -> Vec<u32> {
         versions
             .iter()
             .copied()
@@ -340,7 +340,11 @@ impl Matcher {
                     // goto present anywhere in the function.
                     if saw_back_goto {
                         let mut after_label = false;
-                        Self::decl_after_label(&f.body, &mut after_label, &mut self.decl_after_label_back_goto);
+                        Self::decl_after_label(
+                            &f.body,
+                            &mut after_label,
+                            &mut self.decl_after_label_back_goto,
+                        );
                     }
                 }
             }
@@ -421,9 +425,7 @@ impl Matcher {
                     );
                 }
                 Stmt::Goto(name) => {
-                    if let Some((_, label_branch)) =
-                        labels.iter().find(|(l, _)| l == name)
-                    {
+                    if let Some((_, label_branch)) = labels.iter().find(|(l, _)| l == name) {
                         self.backward_goto = true;
                         *saw_back_goto = true;
                         if *label_branch != 0 && *label_branch != in_branch {
@@ -436,19 +438,43 @@ impl Matcher {
                     self.expr(c, loop_depth > 0);
                     self.next_branch += 1;
                     let then_id = self.next_branch;
-                    self.stmts(std::slice::from_ref(t), labels, saw_back_goto, then_id, loop_depth);
+                    self.stmts(
+                        std::slice::from_ref(t),
+                        labels,
+                        saw_back_goto,
+                        then_id,
+                        loop_depth,
+                    );
                     if let Some(e) = e {
                         self.next_branch += 1;
                         let else_id = self.next_branch;
-                        self.stmts(std::slice::from_ref(e), labels, saw_back_goto, else_id, loop_depth);
+                        self.stmts(
+                            std::slice::from_ref(e),
+                            labels,
+                            saw_back_goto,
+                            else_id,
+                            loop_depth,
+                        );
                     }
                 }
                 Stmt::While(c, b) => {
                     self.expr_in_loop_cond(c);
-                    self.stmts(std::slice::from_ref(b), labels, saw_back_goto, in_branch, loop_depth + 1);
+                    self.stmts(
+                        std::slice::from_ref(b),
+                        labels,
+                        saw_back_goto,
+                        in_branch,
+                        loop_depth + 1,
+                    );
                 }
                 Stmt::DoWhile(b, c) => {
-                    self.stmts(std::slice::from_ref(b), labels, saw_back_goto, in_branch, loop_depth + 1);
+                    self.stmts(
+                        std::slice::from_ref(b),
+                        labels,
+                        saw_back_goto,
+                        in_branch,
+                        loop_depth + 1,
+                    );
                     self.expr_in_loop_cond(c);
                 }
                 Stmt::For(init, cond, step, b) => {
@@ -474,7 +500,13 @@ impl Matcher {
                         }
                         self.expr(st, true);
                     }
-                    self.stmts(std::slice::from_ref(b), labels, saw_back_goto, in_branch, loop_depth + 1);
+                    self.stmts(
+                        std::slice::from_ref(b),
+                        labels,
+                        saw_back_goto,
+                        in_branch,
+                        loop_depth + 1,
+                    );
                 }
                 Stmt::Return(Some(e)) => self.expr(e, loop_depth > 0),
                 _ => {}
@@ -548,30 +580,24 @@ impl Matcher {
 
     fn expr_patterns(&mut self, e: &Expr) {
         match &e.kind {
-            ExprKind::Ternary(_, t, els) => {
-                if exprs_equal(t, els) {
-                    self.ternary_identical = true;
-                }
+            ExprKind::Ternary(_, t, els) if exprs_equal(t, els) => {
+                self.ternary_identical = true;
             }
-            ExprKind::Assign(AssignOp::Assign, lhs, rhs) => {
-                if exprs_equal(lhs, rhs) {
-                    self.self_assignment = true;
-                }
+            ExprKind::Assign(AssignOp::Assign, lhs, rhs) if exprs_equal(lhs, rhs) => {
+                self.self_assignment = true;
             }
-            ExprKind::Binary(BinaryOp::Sub, a, b) => {
-                if !matches!(a.kind, ExprKind::IntLit(_)) && exprs_equal(a, b) {
-                    self.sub_self = true;
-                }
+            ExprKind::Binary(BinaryOp::Sub, a, b)
+                if !matches!(a.kind, ExprKind::IntLit(_)) && exprs_equal(a, b) =>
+            {
+                self.sub_self = true;
             }
-            ExprKind::Binary(BinaryOp::Div | BinaryOp::Rem, a, b) => {
-                if exprs_equal(a, b) {
-                    self.div_by_self = true;
-                }
+            ExprKind::Binary(BinaryOp::Div | BinaryOp::Rem, a, b) if exprs_equal(a, b) => {
+                self.div_by_self = true;
             }
-            ExprKind::Binary(BinaryOp::Shl | BinaryOp::Shr, _, amount) => {
-                if !matches!(amount.kind, ExprKind::IntLit(_) | ExprKind::CharLit(_)) {
-                    self.variable_shift = true;
-                }
+            ExprKind::Binary(BinaryOp::Shl | BinaryOp::Shr, _, amount)
+                if !matches!(amount.kind, ExprKind::IntLit(_) | ExprKind::CharLit(_)) =>
+            {
+                self.variable_shift = true;
             }
             ExprKind::Unary(UnaryOp::Addr, inner) => {
                 if let ExprKind::Ident(id) = &inner.kind {
@@ -635,9 +661,7 @@ fn contains_call(e: &Expr) -> bool {
         | ExprKind::Assign(_, a, b)
         | ExprKind::Index(a, b)
         | ExprKind::Comma(a, b) => contains_call(a) || contains_call(b),
-        ExprKind::Ternary(c, t, e2) => {
-            contains_call(c) || contains_call(t) || contains_call(e2)
-        }
+        ExprKind::Ternary(c, t, e2) => contains_call(c) || contains_call(t) || contains_call(e2),
         ExprKind::Call(_, args) => args.iter().any(contains_call),
         ExprKind::Member(a, _, _) => contains_call(a),
         _ => false,
@@ -740,8 +764,14 @@ mod tests {
 
     #[test]
     fn variable_statistics() {
-        assert!(matches(Trigger::SameVarTimes(3), "int a, b; void f() { b = a + a * a; }"));
-        assert!(!matches(Trigger::SameVarTimes(4), "int a, b; void f() { b = a + a * a; }"));
+        assert!(matches(
+            Trigger::SameVarTimes(3),
+            "int a, b; void f() { b = a + a * a; }"
+        ));
+        assert!(!matches(
+            Trigger::SameVarTimes(4),
+            "int a, b; void f() { b = a + a * a; }"
+        ));
         assert!(matches(
             Trigger::DistinctVars(4),
             "int a, b, c, d; void f() { a = b + c * d - a; }"
@@ -750,14 +780,38 @@ mod tests {
 
     #[test]
     fn misc_triggers() {
-        assert!(matches(Trigger::SelfAssignment, "int x; void f() { x = x; }"));
-        assert!(matches(Trigger::SubSelf, "int x, y; void f() { y = (x + 1) - (x + 1); }"));
-        assert!(matches(Trigger::DivBySelf, "int x, y; void f() { y = x / x; }"));
-        assert!(matches(Trigger::VariableShift, "int x, n; void f() { x = x << n; }"));
-        assert!(!matches(Trigger::VariableShift, "int x; void f() { x = x << 2; }"));
-        assert!(matches(Trigger::CommaInCall, "int a; void g(int x) {} void f() { g((a = 1, a)); }"));
-        assert!(matches(Trigger::UsesStruct, "struct s { int x; }; int main() { return 0; }"));
-        assert!(matches(Trigger::AddrOfGlobal, "int g; int *p; void f() { p = &g; }"));
+        assert!(matches(
+            Trigger::SelfAssignment,
+            "int x; void f() { x = x; }"
+        ));
+        assert!(matches(
+            Trigger::SubSelf,
+            "int x, y; void f() { y = (x + 1) - (x + 1); }"
+        ));
+        assert!(matches(
+            Trigger::DivBySelf,
+            "int x, y; void f() { y = x / x; }"
+        ));
+        assert!(matches(
+            Trigger::VariableShift,
+            "int x, n; void f() { x = x << n; }"
+        ));
+        assert!(!matches(
+            Trigger::VariableShift,
+            "int x; void f() { x = x << 2; }"
+        ));
+        assert!(matches(
+            Trigger::CommaInCall,
+            "int a; void g(int x) {} void f() { g((a = 1, a)); }"
+        ));
+        assert!(matches(
+            Trigger::UsesStruct,
+            "struct s { int x; }; int main() { return 0; }"
+        ));
+        assert!(matches(
+            Trigger::AddrOfGlobal,
+            "int g; int *p; void f() { p = &g; }"
+        ));
         assert!(matches(
             Trigger::CallInLoopCond,
             "int k(void) { return 0; } void f() { while (k()) ; }"
@@ -790,7 +844,10 @@ mod tests {
     #[test]
     fn version_gating() {
         let regs = registry();
-        let lra = regs.iter().find(|b| b.id == "gcc-lra-1281").expect("present");
+        let lra = regs
+            .iter()
+            .find(|b| b.id == "gcc-lra-1281")
+            .expect("present");
         assert!(lra.live_in(485));
         assert!(!lra.live_in(600), "fixed in 600");
         assert_eq!(lra.affected_versions(GCC_VERSIONS), vec![485, 500, 520]);

@@ -46,10 +46,7 @@ impl Coverage {
     /// Records that `point` of `pass` executed. Unknown passes or points
     /// beyond the declared count are ignored (defensive).
     pub fn hit(&mut self, pass: &'static str, point: u32) {
-        if PASS_POINTS
-            .iter()
-            .any(|&(p, n)| p == pass && point < n)
-        {
+        if PASS_POINTS.iter().any(|&(p, n)| p == pass && point < n) {
             self.hits.insert((pass, point));
         }
     }

@@ -223,7 +223,13 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn init_slot(&mut self, slot: usize, init: &'p Expr, env: &Env, depth: usize) -> Result<(), Ub> {
+    fn init_slot(
+        &mut self,
+        slot: usize,
+        init: &'p Expr,
+        env: &Env,
+        depth: usize,
+    ) -> Result<(), Ub> {
         if let ExprKind::Call(name, args) = &init.kind {
             if name == "__init_list" {
                 for (i, a) in args.iter().enumerate() {
@@ -249,7 +255,12 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn call(&mut self, f: &'p Function, args: Vec<Value>, depth: usize) -> Result<Option<Value>, Ub> {
+    fn call(
+        &mut self,
+        f: &'p Function,
+        args: Vec<Value>,
+        depth: usize,
+    ) -> Result<Option<Value>, Ub> {
         if depth >= self.max_depth {
             return Err(Ub::StackOverflow);
         }
@@ -257,7 +268,9 @@ impl<'p> Interp<'p> {
         for (param, arg) in f.params.iter().zip(args) {
             let slot = self.alloc(&param.name, &param.ty, false)?;
             self.slots[slot].cells[0] = Some(arg);
-            env.last_mut().expect("frame scope").insert(param.name.clone(), slot);
+            env.last_mut()
+                .expect("frame scope")
+                .insert(param.name.clone(), slot);
         }
         match self.run_body(&f.body, &mut env, depth)? {
             Flow::Return(v) => Ok(v),
@@ -529,9 +542,7 @@ impl<'p> Interp<'p> {
                     let v = self.int(inner, env, depth)?;
                     v.checked_neg().map(Value::Int).ok_or(Ub::Overflow)
                 }
-                UnaryOp::Not => Ok(Value::Int(
-                    (!self.truthy(inner, env, depth)?) as i64,
-                )),
+                UnaryOp::Not => Ok(Value::Int((!self.truthy(inner, env, depth)?) as i64)),
                 UnaryOp::BitNot => Ok(Value::Int(!self.int(inner, env, depth)?)),
                 UnaryOp::Deref => {
                     let t = match self.eval(inner, env, depth)? {
@@ -658,12 +669,8 @@ impl<'p> Interp<'p> {
                     offset: off as usize,
                 }))
             }
-            (Value::Ptr(p), Value::Ptr(q)) if op == BinaryOp::Eq => {
-                Ok(Value::Int((p == q) as i64))
-            }
-            (Value::Ptr(p), Value::Ptr(q)) if op == BinaryOp::Ne => {
-                Ok(Value::Int((p != q) as i64))
-            }
+            (Value::Ptr(p), Value::Ptr(q)) if op == BinaryOp::Eq => Ok(Value::Int((p == q) as i64)),
+            (Value::Ptr(p), Value::Ptr(q)) if op == BinaryOp::Ne => Ok(Value::Int((p != q) as i64)),
             (Value::Null, Value::Null) if op == BinaryOp::Eq => Ok(Value::Int(1)),
             (Value::Null, Value::Null) if op == BinaryOp::Ne => Ok(Value::Int(0)),
             (Value::Ptr(_), Value::Null) | (Value::Null, Value::Ptr(_))
@@ -718,9 +725,7 @@ impl<'p> Interp<'p> {
                     .function(name)
                     .ok_or_else(|| Ub::UnknownFunction(name.to_string()))?;
                 if f.params.len() != args.len() {
-                    return Err(Ub::Unsupported(format!(
-                        "arity mismatch calling `{name}`"
-                    )));
+                    return Err(Ub::Unsupported(format!("arity mismatch calling `{name}`")));
                 }
                 let mut vals = Vec::new();
                 for a in args {
@@ -738,8 +743,7 @@ fn stmt_defines_label(s: &Stmt, label: &str) -> bool {
         Stmt::Label(l, inner) => l == label || stmt_defines_label(inner, label),
         Stmt::Block(body) => body.iter().any(|s| stmt_defines_label(s, label)),
         Stmt::If(_, t, e) => {
-            stmt_defines_label(t, label)
-                || e.as_ref().is_some_and(|e| stmt_defines_label(e, label))
+            stmt_defines_label(t, label) || e.as_ref().is_some_and(|e| stmt_defines_label(e, label))
         }
         Stmt::While(_, b) | Stmt::DoWhile(b, _) | Stmt::For(_, _, _, b) => {
             stmt_defines_label(b, label)
@@ -801,12 +805,22 @@ mod tests {
 
     #[test]
     fn arithmetic_and_return() {
-        assert_eq!(run_src("int main() { return 2 + 3 * 4; }").unwrap().exit_code, 14);
+        assert_eq!(
+            run_src("int main() { return 2 + 3 * 4; }")
+                .unwrap()
+                .exit_code,
+            14
+        );
     }
 
     #[test]
     fn globals_are_zero_initialized() {
-        assert_eq!(run_src("int g; int main() { return g; }").unwrap().exit_code, 0);
+        assert_eq!(
+            run_src("int g; int main() { return g; }")
+                .unwrap()
+                .exit_code,
+            0
+        );
     }
 
     #[test]
@@ -925,8 +939,8 @@ mod tests {
 
     #[test]
     fn printf_output_captured() {
-        let exec = run_src(r#"int main() { int a = 7; printf("%d", a); return 0; }"#)
-            .expect("runs");
+        let exec =
+            run_src(r#"int main() { int a = 7; printf("%d", a); return 0; }"#).expect("runs");
         assert_eq!(exec.output, vec!["%d:7".to_string()]);
     }
 

@@ -237,10 +237,7 @@ fn fold_expr(e: &Expr, ctx: &mut PassCtx<'_>) -> Expr {
             name.clone(),
             args.iter().map(|a| fold_expr(a, ctx)).collect(),
         )),
-        ExprKind::Index(a, i) => rebuild(ExprKind::Index(
-            a.clone(),
-            Box::new(fold_expr(i, ctx)),
-        )),
+        ExprKind::Index(a, i) => rebuild(ExprKind::Index(a.clone(), Box::new(fold_expr(i, ctx)))),
         ExprKind::Comma(a, b) => rebuild(ExprKind::Comma(
             Box::new(fold_expr(a, ctx)),
             Box::new(fold_expr(b, ctx)),
@@ -348,9 +345,8 @@ fn dce_stmts(
     let mut out = Vec::new();
     let mut seen_label = after_label;
     for s in stmts {
-        match s {
-            Stmt::Label(_, _) => seen_label = true,
-            _ => {}
+        if let Stmt::Label(_, _) = s {
+            seen_label = true
         }
         match s {
             // `if (0)` / `if (non-zero-literal)` simplification.
@@ -547,10 +543,7 @@ fn ccp_stmts(
                             }
                         }
                     }
-                    nds.push(VarDeclarator {
-                        init,
-                        ..d.clone()
-                    });
+                    nds.push(VarDeclarator { init, ..d.clone() });
                 }
                 out.push(Stmt::Decl(nds));
             }
@@ -587,7 +580,9 @@ fn ccp_stmts(
                 let c = ccp_expr(c, consts, ctx);
                 consts.clear();
                 let t2 = ccp_block(t, consts, addressed, ctx);
-                let e2 = e.as_ref().map(|e| Box::new(ccp_block(e, consts, addressed, ctx)));
+                let e2 = e
+                    .as_ref()
+                    .map(|e| Box::new(ccp_block(e, consts, addressed, ctx)));
                 out.push(Stmt::If(c, Box::new(t2), e2));
                 consts.clear();
             }
@@ -658,9 +653,7 @@ fn contains_write(e: &Expr) -> bool {
         ExprKind::Binary(_, a, b) | ExprKind::Index(a, b) | ExprKind::Comma(a, b) => {
             contains_write(a) || contains_write(b)
         }
-        ExprKind::Ternary(c, t, e2) => {
-            contains_write(c) || contains_write(t) || contains_write(e2)
-        }
+        ExprKind::Ternary(c, t, e2) => contains_write(c) || contains_write(t) || contains_write(e2),
         ExprKind::Member(a, _, _) => contains_write(a),
         _ => false,
     }
@@ -738,10 +731,9 @@ fn subst_consts(e: &Expr, consts: &HashMap<String, i64>, ctx: &mut PassCtx<'_>) 
             Box::new(subst_consts(rhs, consts, ctx)),
         )),
         ExprKind::Unary(UnaryOp::Addr, _) => e.clone(),
-        ExprKind::Unary(op, a) => rebuild(ExprKind::Unary(
-            *op,
-            Box::new(subst_consts(a, consts, ctx)),
-        )),
+        ExprKind::Unary(op, a) => {
+            rebuild(ExprKind::Unary(*op, Box::new(subst_consts(a, consts, ctx))))
+        }
         ExprKind::Post(_, _) => e.clone(),
         ExprKind::Binary(op, a, b) => rebuild(ExprKind::Binary(
             *op,
@@ -944,7 +936,10 @@ mod tests {
 
     #[test]
     fn removes_dead_if() {
-        let out = opt("int g; int main() { if (0) g = 1; else g = 2; return g; }", 1);
+        let out = opt(
+            "int g; int main() { if (0) g = 1; else g = 2; return g; }",
+            1,
+        );
         assert!(!out.contains("g = 1"), "{out}");
         assert!(out.contains("g = 2"), "{out}");
     }
@@ -1003,7 +998,10 @@ mod tests {
             }
         "#;
         let regs = registry();
-        let bug = regs.iter().find(|b| b.id == "clang-26994").expect("present");
+        let bug = regs
+            .iter()
+            .find(|b| b.id == "clang-26994")
+            .expect("present");
         let prog = parse(src).expect("parses");
         let mut cov = Coverage::new();
         let mut ctx = PassCtx {

@@ -177,7 +177,7 @@ pub fn lower(p: &Program) -> Result<Image, LowerError> {
                     return Err(LowerError(format!("array `{}` too large", d.name)));
                 }
                 globals_layout.insert(d.name.clone(), (gmem.len() as i64, n));
-                gmem.extend(std::iter::repeat(0).take(n));
+                gmem.extend(std::iter::repeat_n(0, n));
             }
         }
     }
@@ -402,7 +402,8 @@ impl FnLower<'_> {
             Stmt::DoWhile(b, c) => {
                 let top = self.instrs.len();
                 self.break_patches.push(Vec::new());
-                self.continue_targets.push(ContinueTarget::Pending(Vec::new()));
+                self.continue_targets
+                    .push(ContinueTarget::Pending(Vec::new()));
                 self.stmt(b)?;
                 let cond_at = self.instrs.len();
                 self.patch_pending_continues(cond_at);
@@ -433,7 +434,8 @@ impl FnLower<'_> {
                     None => None,
                 };
                 self.break_patches.push(Vec::new());
-                self.continue_targets.push(ContinueTarget::Pending(Vec::new()));
+                self.continue_targets
+                    .push(ContinueTarget::Pending(Vec::new()));
                 self.stmt(b)?;
                 let step_at = self.instrs.len();
                 self.patch_pending_continues(step_at);
@@ -584,11 +586,12 @@ impl FnLower<'_> {
                 self.instrs.push(Instr::Dup);
                 self.instrs.push(Instr::LoadInd);
                 self.instrs.push(Instr::Push(1));
-                self.instrs.push(Instr::Bin(if matches!(op, UnaryOp::PreInc) {
-                    BinaryOp::Add
-                } else {
-                    BinaryOp::Sub
-                }));
+                self.instrs
+                    .push(Instr::Bin(if matches!(op, UnaryOp::PreInc) {
+                        BinaryOp::Add
+                    } else {
+                        BinaryOp::Sub
+                    }));
                 self.instrs.push(Instr::StoreIndPush);
             }
             ExprKind::Unary(op, inner) => {
@@ -721,9 +724,7 @@ impl FnLower<'_> {
                 self.instrs.push(Instr::Bin(BinaryOp::Add));
                 self.instrs.push(Instr::LoadInd);
             }
-            ExprKind::Member(_, _, _) => {
-                return Err(LowerError("struct member access".into()))
-            }
+            ExprKind::Member(_, _, _) => return Err(LowerError("struct member access".into())),
             ExprKind::Cast(_, inner) => self.expr(inner)?,
             ExprKind::Comma(a, b) => {
                 self.expr(a)?;

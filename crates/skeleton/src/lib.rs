@@ -219,12 +219,7 @@ impl Skeleton {
 
     /// Statistics for the paper's Table 2.
     pub fn stats(&self) -> SkeletonStats {
-        let mut types: Vec<String> = self
-            .table
-            .vars()
-            .iter()
-            .map(|v| v.ty.to_string())
-            .collect();
+        let mut types: Vec<String> = self.table.vars().iter().map(|v| v.ty.to_string()).collect();
         types.sort();
         types.dedup();
         let total_allowed: usize = self.holes.iter().map(|h| h.allowed.len()).sum();
@@ -597,8 +592,7 @@ mod tests {
         for rgs in &rgss {
             let rename = s.rename_for_rgs(g, rgs).expect("valid partition");
             let src = s.realize(&rename);
-            Skeleton::from_source(&src)
-                .unwrap_or_else(|e| panic!("scoping violated: {e}\n{src}"));
+            Skeleton::from_source(&src).unwrap_or_else(|e| panic!("scoping violated: {e}\n{src}"));
         }
     }
 
@@ -648,8 +642,8 @@ mod tests {
 
     #[test]
     fn while_figure5_skeleton() {
-        let w = WhileSkeleton::from_source("a := 10; b := 1; while a do a := a - b")
-            .expect("parses");
+        let w =
+            WhileSkeleton::from_source("a := 10; b := 1; while a do a := a - b").expect("parses");
         assert_eq!(w.num_holes(), 6);
         assert_eq!(w.variables().len(), 2);
         // Paper: 2^6 = 64 naive, {6 1} + {6 2} = 32 non-α-equivalent.

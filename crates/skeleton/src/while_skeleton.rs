@@ -149,8 +149,8 @@ mod tests {
     #[test]
     fn example2_p2_rgs() {
         // P2 = ⟨a, b, b, b, a, b⟩ -> "011101".
-        let w = WhileSkeleton::from_source("a := 10; b := 1; while b do b := a - b")
-            .expect("parses");
+        let w =
+            WhileSkeleton::from_source("a := 10; b := 1; while b do b := a - b").expect("parses");
         assert_eq!(w.original_rgs(), vec![0, 1, 1, 1, 0, 1]);
     }
 

@@ -76,7 +76,11 @@ pub struct InternalError {
 
 impl fmt::Display for InternalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "internal compiler error: in {}: {}", self.pass, self.message)
+        write!(
+            f,
+            "internal compiler error: in {}: {}",
+            self.pass, self.message
+        )
     }
 }
 
@@ -469,9 +473,7 @@ fn copy_propagate(p: &WProgram, profile: BugProfile) -> Result<WProgram, Interna
             };
             if safe {
                 stmts[i + 1] = match next {
-                    WStmt::Assign(n, o, e) => {
-                        WStmt::Assign(n.clone(), *o, subst_var_a(e, &x, &y))
-                    }
+                    WStmt::Assign(n, o, e) => WStmt::Assign(n.clone(), *o, subst_var_a(e, &x, &y)),
                     WStmt::While(b, body) => WStmt::While(
                         subst_var_b(b, &x, &y),
                         body.clone(), // body untouched: the miscompile
@@ -513,6 +515,8 @@ fn lower(
     Ok(Compiled { instrs, vars })
 }
 
+// `profile` is threaded through for future per-construct bug injection.
+#[allow(clippy::only_used_in_recursion)]
 fn lower_seq(
     stmts: &[WStmt],
     slot_of: &dyn Fn(&str) -> Result<usize, InternalError>,

@@ -389,9 +389,11 @@ fn wlex(src: &str) -> Result<Vec<WTok>, WParseError> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                out.push(WTok::Num(src[s..i].parse().map_err(|e| {
-                    WParseError(format!("bad number: {e}"))
-                })?));
+                out.push(WTok::Num(
+                    src[s..i]
+                        .parse()
+                        .map_err(|e| WParseError(format!("bad number: {e}")))?,
+                ));
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let s = i;
@@ -587,7 +589,15 @@ impl WParser {
             Some(WTok::Ident(n))
                 if !matches!(
                     n.as_str(),
-                    "true" | "false" | "not" | "and" | "or" | "do" | "then" | "else" | "begin"
+                    "true"
+                        | "false"
+                        | "not"
+                        | "and"
+                        | "or"
+                        | "do"
+                        | "then"
+                        | "else"
+                        | "begin"
                         | "end"
                 ) =>
             {
@@ -838,8 +848,7 @@ mod tests {
 
     #[test]
     fn if_then_else_and_booleans() {
-        let p =
-            parse("x := 3; if x < 5 and not (x = 2) then y := 1 else y := 2").expect("parses");
+        let p = parse("x := 3; if x < 5 and not (x = 2) then y := 1 else y := 2").expect("parses");
         let Outcome::Finished(s) = interpret(&p, 1000).expect("runs") else {
             panic!("timeout");
         };

@@ -8,7 +8,10 @@ use spe::corpus::{generate, CorpusConfig};
 use spe::harness::coverage_run::figure9;
 
 fn main() {
-    let files = generate(&CorpusConfig { files: 40, seed: 45 });
+    let files = generate(&CorpusConfig {
+        files: 40,
+        seed: 45,
+    });
     println!(
         "Measuring pass coverage over {} test programs (budget 25/file)...\n",
         files.len()

@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     return 0;
 }";
     let sk = Skeleton::from_source(src)?;
-    println!("Skeleton has {} holes over {} variables\n", sk.num_holes(), 2);
+    println!(
+        "Skeleton has {} holes over {} variables\n",
+        sk.num_holes(),
+        2
+    );
     println!(
         "Naive fillings:            {}",
         naive_count(&sk, Granularity::Intra)

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("compcert-sim: {} distinct crash signatures, {wrong} miscompiled variants", crashes.len());
+    println!(
+        "compcert-sim: {} distinct crash signatures, {wrong} miscompiled variants",
+        crashes.len()
+    );
     for c in &crashes {
         println!("  {c}");
     }

@@ -11,7 +11,10 @@ use std::ops::ControlFlow;
 
 fn trunk_campaign() -> spe::harness::CampaignReport {
     let mut files = seeds::all();
-    files.extend(generate(&CorpusConfig { files: 60, seed: 44 }));
+    files.extend(generate(&CorpusConfig {
+        files: 60,
+        seed: 44,
+    }));
     run_campaign(
         &files,
         &CampaignConfig {
@@ -76,7 +79,10 @@ fn all_enumerated_variants_of_seeds_are_valid_programs() {
 fn reference_interpreter_agrees_with_vm_on_clean_compiler() {
     // Property over the corpus: for every UB-free program, a bug-free
     // compiler configuration must agree with the reference interpreter.
-    let files = generate(&CorpusConfig { files: 40, seed: 99 });
+    let files = generate(&CorpusConfig {
+        files: 40,
+        seed: 99,
+    });
     let cc = Compiler::new(CompilerId::gcc(440), 0); // -O0, no live triggers at O0
     let mut compared = 0;
     for f in &files {
@@ -124,7 +130,7 @@ fn counting_and_enumeration_agree_on_corpus_sample() {
         });
         let outcome = e.enumerate(&sk, &mut |_| ControlFlow::Continue(()));
         assert_eq!(
-            BigUint::from(outcome.emitted as u64),
+            BigUint::from(outcome.emitted),
             count,
             "closed form vs enumeration on {}",
             f.name

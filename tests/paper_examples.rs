@@ -23,10 +23,8 @@ fn section2_reduction_3125_to_52() {
     // §2: "a naïve program enumeration approach generates 3,125 programs.
     // In contrast, our approach only enumerates 52 non-α-equivalent
     // programs": 5 holes over 5 same-type variables.
-    let sk = Skeleton::from_source(
-        "int a, b, c, d, e; void f() { a = b; c = d; e = 1; }",
-    )
-    .expect("builds");
+    let sk = Skeleton::from_source("int a, b, c, d, e; void f() { a = b; c = d; e = 1; }")
+        .expect("builds");
     assert_eq!(sk.num_holes(), 5);
     assert_eq!(naive_count(&sk, Granularity::Intra).to_u64(), Some(3125));
     assert_eq!(spe_count(&sk, Granularity::Intra), bell(5));
@@ -35,8 +33,7 @@ fn section2_reduction_3125_to_52() {
 
 #[test]
 fn example1_figure5_while_enumeration() {
-    let sk = WhileSkeleton::from_source("a := 10; b := 1; while a do a := a - b")
-        .expect("parses");
+    let sk = WhileSkeleton::from_source("a := 10; b := 1; while a do a := a - b").expect("parses");
     // 6 holes, 2 variables: 64 naive fillings (Example 1's |P| = 64).
     assert_eq!(sk.instance().naive_count().to_u64(), Some(64));
     // Example 5: the characteristic vector ⟨a,b,a,a,a,b⟩ is "010001".
@@ -74,7 +71,11 @@ fn example6_figure7_all_three_semantics() {
         }],
     );
     assert_eq!(fig7.naive_count().to_u64(), Some(128));
-    assert_eq!(paper_count(&fig7).to_u64(), Some(36), "the paper's 16+7+7+6");
+    assert_eq!(
+        paper_count(&fig7).to_u64(),
+        Some(36),
+        "the paper's 16+7+7+6"
+    );
     assert_eq!(canonical_count(&fig7.to_general()).to_u64(), Some(35));
     assert_eq!(orbit_count(&fig7).to_u64(), Some(40));
 }

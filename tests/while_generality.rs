@@ -20,7 +20,13 @@ fn campaign(src: &str, profile: BugProfile, opt: u8) -> (BTreeSet<String>, usize
         let Ok(Outcome::Finished(reference)) = interpret(&v, 20_000) else {
             continue;
         };
-        match compile(&v, Options { opt_level: opt, profile }) {
+        match compile(
+            &v,
+            Options {
+                opt_level: opt,
+                profile,
+            },
+        ) {
             Err(ice) => {
                 crashes.insert(ice.to_string());
             }
@@ -44,7 +50,9 @@ fn compcert_profile_crash_found_by_enumeration() {
     let (crashes, _, total) = campaign(src, BugProfile::CompCertSim, 1);
     assert!(total > 100, "non-trivial enumeration ({total})");
     assert!(
-        crashes.iter().any(|c| c.contains("operand_address_compare")),
+        crashes
+            .iter()
+            .any(|c| c.contains("operand_address_compare")),
         "folding crash found: {crashes:?}"
     );
     // The clean profile never crashes on the same variants.
