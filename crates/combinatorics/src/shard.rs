@@ -74,6 +74,77 @@ fn completions_row(remaining: usize, k: usize) -> Vec<BigUint> {
     dp
 }
 
+/// Unranks a lexicographic index into `Rgs::new(n, k)`: returns the
+/// `index`-th restricted growth string (0-based) of length `n` with at
+/// most `k` blocks, in O(n·k) big-integer work.
+///
+/// This is the digit-by-digit inverse of the [`rgs_completions`] weights:
+/// at each position the candidate digits `0..=blocks_used` are weighed by
+/// the completions of the extended prefix, and the index is walked down
+/// the cumulative weights. Combined with [`crate::Rgs::skip_to`] it turns
+/// any *emission-index* range into an RGS boundary pair, which is how
+/// index-sharded enumeration resumes mid-space without materializing the
+/// prefix.
+///
+/// # Panics
+///
+/// Panics if `index >= partitions_at_most(n, k)` (the space size).
+///
+/// # Examples
+///
+/// ```
+/// use spe_combinatorics::{rgs_unrank, Rgs};
+///
+/// let serial: Vec<Vec<usize>> = Rgs::new(5, 3).collect();
+/// for (i, rgs) in serial.iter().enumerate() {
+///     assert_eq!(&rgs_unrank(5, 3, i as u64), rgs);
+/// }
+/// ```
+pub fn rgs_unrank(n: usize, k: usize, index: u64) -> Vec<usize> {
+    let mut idx = BigUint::from(index);
+    if n == 0 || k == 0 {
+        assert!(n == 0 && idx.is_zero(), "index out of range for empty space");
+        return Vec::new();
+    }
+    // rows[r][m] = C(r, m): completions of a prefix with m blocks used and
+    // r positions remaining.
+    let mut rows: Vec<Vec<BigUint>> = vec![vec![BigUint::one(); k + 1]];
+    for r in 1..n {
+        let prev = &rows[r - 1];
+        let mut next: Vec<BigUint> = Vec::with_capacity(k + 1);
+        for m in 0..=k {
+            let mut v = prev[m].clone();
+            v.mul_word(m as u64);
+            if m < k {
+                v += &prev[m + 1];
+            }
+            next.push(v);
+        }
+        rows.push(next);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut blocks_used = 0usize;
+    for i in 0..n {
+        let row = &rows[n - i - 1];
+        let mut placed = false;
+        for d in 0..=blocks_used.min(k - 1) {
+            let used_after = blocks_used.max(d + 1);
+            let weight = &row[used_after];
+            match idx.checked_sub(weight) {
+                None => {
+                    out.push(d);
+                    blocks_used = used_after;
+                    placed = true;
+                    break;
+                }
+                Some(rest) => idx = rest,
+            }
+        }
+        assert!(placed, "index out of range at position {i}");
+    }
+    out
+}
+
 /// One contiguous slice of the RGS space `Rgs::new(n, k)`.
 ///
 /// The shard covers every string `s` with `start ≤ s < end` in
@@ -357,6 +428,28 @@ mod tests {
                 .collect();
             assert_eq!(holders.len(), 1, "{rgs:?} held by {holders:?}");
         }
+    }
+
+    #[test]
+    fn unrank_inverts_lexicographic_enumeration() {
+        for (n, k) in [(1, 1), (4, 2), (5, 3), (6, 6), (7, 4)] {
+            for (i, rgs) in Rgs::new(n, k).enumerate() {
+                assert_eq!(rgs_unrank(n, k, i as u64), rgs, "n={n} k={k} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrank_of_zero_is_the_all_zero_string() {
+        assert_eq!(rgs_unrank(6, 3, 0), vec![0; 6]);
+        assert_eq!(rgs_unrank(0, 0, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_rejects_out_of_range_indices() {
+        let total = partitions_at_most(5, 3).to_u64().expect("small");
+        let _ = rgs_unrank(5, 3, total);
     }
 
     #[test]

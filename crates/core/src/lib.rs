@@ -31,10 +31,13 @@
 //! ```
 
 use spe_bignum::BigUint;
-use spe_combinatorics::{canonical_solutions, orbit_solutions, paper_solutions, Fillings};
-use spe_minic::ast::OccId;
-pub use spe_skeleton::{Granularity, Skeleton, SkeletonError, TypeGroup, Unit};
-use std::collections::HashMap;
+use spe_combinatorics::{
+    canonical_solutions, enumerate_canonical_shard, orbit_solutions, paper_solutions,
+    partitions_at_most, rgs_unrank, Fillings, GeneralInstance, RgsShard,
+};
+pub use spe_skeleton::{
+    Granularity, NameId, NameTable, RenderTemplate, Skeleton, SkeletonError, TypeGroup, Unit,
+};
 use std::ops::ControlFlow;
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -80,19 +83,32 @@ impl Default for EnumeratorConfig {
     }
 }
 
-/// One enumerated variant: a use-site renaming of the skeleton.
-#[derive(Debug, Clone)]
+/// One enumerated variant: a use-site renaming of the skeleton as a flat
+/// hole-indexed vector of interned names.
+///
+/// `names[h]` fills hole `h` of [`Skeleton::holes`] (merged across all
+/// units and type groups). The enumerator reuses one `Variant` across the
+/// whole stream — visitors receive `&Variant` and must copy
+/// ([`Variant::clone`]) anything they keep past the callback.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Variant {
     /// Sequential index in emission order.
     pub index: u64,
-    /// The use-site rename map (merged across all units and type groups).
-    pub rename: HashMap<OccId, String>,
+    /// The chosen name of every hole, in [`Skeleton::holes`] order.
+    pub names: Vec<NameId>,
 }
 
 impl Variant {
-    /// Realizes the variant as source text.
+    /// Realizes the variant as source text via the skeleton's compiled
+    /// render template.
     pub fn source(&self, sk: &Skeleton) -> String {
-        sk.realize(&self.rename)
+        sk.render(&self.names)
+    }
+
+    /// Renders the variant into a caller-provided reusable buffer
+    /// (cleared first) — the allocation-free hot path.
+    pub fn render_into(&self, sk: &Skeleton, out: &mut String) {
+        sk.render_into(&self.names, out);
     }
 }
 
@@ -128,9 +144,9 @@ impl Enumerator {
     where
         F: FnMut(&Variant) -> ControlFlow<()>,
     {
-        let (fragments, mut truncated) = materialize_fragments(&self.config, sk);
+        let (base, fragments, mut truncated) = materialize_fragments(&self.config, sk);
         let total = emission_total(&fragments, self.config.budget, &mut truncated);
-        let (emitted, broke) = stream_index_range(&fragments, 0..total, None, visit);
+        let (emitted, broke) = stream_index_range(&base, &fragments, 0..total, None, visit);
         EnumerationOutcome {
             emitted,
             truncated: truncated || broke,
@@ -148,35 +164,48 @@ impl Enumerator {
     }
 }
 
+/// A per-group rename fragment: `(hole index, chosen name)` pairs covering
+/// exactly that group's holes. Fragments of different groups touch
+/// disjoint holes, so applying one per group yields a full variant.
+type Fragment = Vec<(u32, NameId)>;
+
+/// The identity filling: every hole keeps its original variable's name.
+fn base_names(sk: &Skeleton) -> Vec<NameId> {
+    sk.holes().iter().map(|h| sk.var_name(h.var)).collect()
+}
+
+/// Overwrites the fragment's holes in a full rename vector.
+fn apply_fragment(names: &mut [NameId], fragment: &Fragment) {
+    for &(h, n) in fragment {
+        names[h as usize] = n;
+    }
+}
+
 /// Materializes the per-group rename fragments for a skeleton, each capped
 /// by the budget (if a single group exceeds it, the product does too).
-/// Returns the fragment lists (one per type group, in unit order) and
-/// whether any group was truncated.
+/// Returns the identity name vector, the fragment lists (one per type
+/// group, in unit order) and whether any group was truncated.
 fn materialize_fragments(
     config: &EnumeratorConfig,
     sk: &Skeleton,
-) -> (Vec<Vec<HashMap<OccId, String>>>, bool) {
+) -> (Vec<NameId>, Vec<Vec<Fragment>>, bool) {
     let units = sk.units(config.granularity);
     let groups: Vec<&TypeGroup> = units.iter().flat_map(|u| u.groups.iter()).collect();
     let mut truncated = false;
-    let mut fragments: Vec<Vec<HashMap<OccId, String>>> = Vec::with_capacity(groups.len());
+    let mut fragments: Vec<Vec<Fragment>> = Vec::with_capacity(groups.len());
     for g in &groups {
         let (frags, t) = group_fragments(config, sk, g);
         truncated |= t;
         fragments.push(frags);
     }
-    (fragments, truncated)
+    (base_names(sk), fragments, truncated)
 }
 
 /// Number of variants to emit: the Cartesian product of fragment sizes,
 /// capped by the budget (the cap sets `truncated`). A group with zero
 /// solutions — which never happens for well-formed skeletons, since each
 /// hole's original variable is allowed — collapses the product to zero.
-fn emission_total(
-    fragments: &[Vec<HashMap<OccId, String>>],
-    budget: usize,
-    truncated: &mut bool,
-) -> u64 {
+fn emission_total(fragments: &[Vec<Fragment>], budget: usize, truncated: &mut bool) -> u64 {
     let product: u128 = fragments
         .iter()
         .map(|f| f.len() as u128)
@@ -193,8 +222,13 @@ fn emission_total(
 /// O(#groups) without touching earlier variants. Returns the number of
 /// variants emitted and whether the visitor (or the shared `stop` flag)
 /// broke the stream.
+///
+/// The hot loop is allocation-free: one `Variant` is set up from `base`
+/// and mutated in place, and advancing the odometer re-applies only the
+/// fragments whose digit changed.
 fn stream_index_range<F>(
-    fragments: &[Vec<HashMap<OccId, String>>],
+    base: &[NameId],
+    fragments: &[Vec<Fragment>],
     range: Range<u64>,
     stop: Option<&AtomicBool>,
     visit: &mut F,
@@ -213,6 +247,13 @@ where
         cursor[i] = (rest % size) as usize;
         rest /= size;
     }
+    let mut variant = Variant {
+        index: range.start,
+        names: base.to_vec(),
+    };
+    for (frags, &c) in fragments.iter().zip(&cursor) {
+        apply_fragment(&mut variant.names, &frags[c]);
+    }
     let mut emitted = 0u64;
     for index in range {
         if let Some(stop) = stop {
@@ -220,13 +261,7 @@ where
                 return (emitted, true);
             }
         }
-        let mut rename = HashMap::new();
-        for (frags, &c) in fragments.iter().zip(&cursor) {
-            for (k, v) in &frags[c] {
-                rename.insert(*k, v.clone());
-            }
-        }
-        let variant = Variant { index, rename };
+        variant.index = index;
         emitted += 1;
         if visit(&variant).is_break() {
             if let Some(stop) = stop {
@@ -234,15 +269,17 @@ where
             }
             return (emitted, true);
         }
-        // Advance the odometer.
+        // Advance the odometer, re-applying only the changed digits.
         let mut i = fragments.len();
         while i > 0 {
             i -= 1;
             cursor[i] += 1;
             if cursor[i] < fragments[i].len() {
+                apply_fragment(&mut variant.names, &fragments[i][cursor[i]]);
                 break;
             }
             cursor[i] = 0;
+            apply_fragment(&mut variant.names, &fragments[i][0]);
         }
     }
     (emitted, false)
@@ -252,7 +289,7 @@ fn group_fragments(
     config: &EnumeratorConfig,
     sk: &Skeleton,
     g: &TypeGroup,
-) -> (Vec<HashMap<OccId, String>>, bool) {
+) -> (Vec<Fragment>, bool) {
     let budget = config.budget;
     match config.algorithm {
         Algorithm::Paper => {
@@ -286,13 +323,14 @@ fn group_fragments(
                     truncated = true;
                     break;
                 }
-                let mut rename = HashMap::new();
-                for (pos, &var_idx) in filling.iter().enumerate() {
-                    let var = g.vars[var_idx];
-                    let hole = &sk.holes()[g.holes[pos]];
-                    rename.insert(hole.occ, sk.table().var(var).name.clone());
-                }
-                out.push(rename);
+                let frag: Fragment = filling
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &var_idx)| {
+                        (g.holes[pos] as u32, sk.var_name(g.vars[var_idx]))
+                    })
+                    .collect();
+                out.push(frag);
             }
             (out, truncated)
         }
@@ -337,28 +375,204 @@ pub struct ShardedEnumerator {
     shards: usize,
 }
 
-/// A skeleton's variant space with every per-group solution list
-/// materialized, produced by [`ShardedEnumerator::prepare`]. Building it
-/// is the expensive part of enumeration setup; one `VariantSpace` can
-/// feed any number of shard streams, from any thread, without repeating
-/// that work.
+/// A skeleton's variant space, produced by [`ShardedEnumerator::prepare`].
+/// Building it is the expensive part of enumeration setup; one
+/// `VariantSpace` can feed any number of shard streams, from any thread,
+/// without repeating that work.
+///
+/// Two representations exist behind one interface:
+///
+/// * **product** — every per-group solution list materialized (the
+///   general case);
+/// * **canonical shard-native** — for [`Algorithm::Canonical`] on a
+///   single-group skeleton whose holes all see the full variable set (the
+///   Bell-number blow-up regime), nothing is materialized at all: shards
+///   enumerate their own index range directly through
+///   [`spe_combinatorics::enumerate_canonical_shard`], so per-shard cost
+///   is proportional to the shard, not the whole space.
 #[derive(Debug, Clone)]
 pub struct VariantSpace {
-    fragments: Vec<Vec<HashMap<OccId, String>>>,
+    /// The identity filling, also the scratch-vector prototype.
+    base: Vec<NameId>,
+    kind: SpaceKind,
     truncated: bool,
+}
+
+#[derive(Debug, Clone)]
+enum SpaceKind {
+    Product(Vec<Vec<Fragment>>),
+    CanonicalNative(CanonicalNativeSpace),
+}
+
+/// Shard-native canonical space: the single unconstrained type group's
+/// instance plus everything needed to turn an RGS into a rename vector
+/// without consulting the skeleton.
+#[derive(Debug, Clone)]
+struct CanonicalNativeSpace {
+    general: GeneralInstance,
+    /// Exact space size: `partitions_at_most(n, k)`.
+    space: BigUint,
+    /// Hole index (into [`Skeleton::holes`]) of each instance position.
+    holes: Vec<u32>,
+    /// Interned names of the group's variables, in variable order.
+    var_names: Vec<NameId>,
 }
 
 impl VariantSpace {
     /// Number of variants that enumeration will emit under `budget`.
     pub fn total(&self, budget: usize) -> u64 {
         let mut truncated = self.truncated;
-        emission_total(&self.fragments, budget, &mut truncated)
+        self.total_with(budget, &mut truncated)
+    }
+
+    fn total_with(&self, budget: usize, truncated: &mut bool) -> u64 {
+        match &self.kind {
+            SpaceKind::Product(fragments) => emission_total(fragments, budget, truncated),
+            SpaceKind::CanonicalNative(native) => {
+                if native.space > BigUint::from(budget as u64) {
+                    *truncated = true;
+                    budget as u64
+                } else {
+                    native.space.to_u64().expect("fits: space <= budget")
+                }
+            }
+        }
     }
 
     /// Whether any group's solution list was cut short by the budget.
     pub fn truncated(&self) -> bool {
         self.truncated
     }
+
+    /// Streams the variants with emission indices in `range`, dispatching
+    /// to the representation's native walk. Semantics are those of
+    /// [`stream_index_range`] for either kind.
+    fn stream_range<F>(
+        &self,
+        range: Range<u64>,
+        stop: Option<&AtomicBool>,
+        visit: &mut F,
+    ) -> (u64, bool)
+    where
+        F: FnMut(&Variant) -> ControlFlow<()>,
+    {
+        match &self.kind {
+            SpaceKind::Product(fragments) => {
+                stream_index_range(&self.base, fragments, range, stop, visit)
+            }
+            SpaceKind::CanonicalNative(native) => {
+                stream_canonical_range(native, &self.base, range, stop, visit)
+            }
+        }
+    }
+}
+
+/// Builds the shard-native canonical representation when the space
+/// qualifies: exactly one type group, and every hole of it allows every
+/// group variable. In that regime the canonical sequence is exactly
+/// `Rgs(n, k)` in lexicographic order (every partition is valid), indices
+/// unrank in closed form, and the SDR used by the materialized path
+/// assigns the top `m` variables (ascending) to an `m`-block partition —
+/// replicated here so outputs stay byte-identical.
+fn canonical_native_space(
+    config: &EnumeratorConfig,
+    sk: &Skeleton,
+) -> Option<CanonicalNativeSpace> {
+    let units = sk.units(config.granularity);
+    let mut groups = units.iter().flat_map(|u| u.groups.iter());
+    let g = groups.next()?;
+    if groups.next().is_some() {
+        return None;
+    }
+    let n = g.general.num_holes();
+    let k = g.general.num_vars;
+    if n == 0 || k == 0 || k > 128 {
+        return None;
+    }
+    if !g.general.allowed.iter().all(|a| a.len() == k) {
+        return None;
+    }
+    Some(CanonicalNativeSpace {
+        general: g.general.clone(),
+        space: partitions_at_most(n as u32, k as u32),
+        holes: g.holes.iter().map(|&h| h as u32).collect(),
+        var_names: g.vars.iter().map(|&v| sk.var_name(v)).collect(),
+    })
+}
+
+/// Shard-native streaming of an emission-index range of an unconstrained
+/// canonical space: unrank the boundaries into RGS prefixes, then let
+/// [`enumerate_canonical_shard`] walk only the shard's subtrees. Cost is
+/// proportional to the shard size (plus O(n·k) unranking), never to the
+/// whole space.
+fn stream_canonical_range<F>(
+    native: &CanonicalNativeSpace,
+    base: &[NameId],
+    range: Range<u64>,
+    stop: Option<&AtomicBool>,
+    visit: &mut F,
+) -> (u64, bool)
+where
+    F: FnMut(&Variant) -> ControlFlow<()>,
+{
+    if range.start >= range.end {
+        return (0, false);
+    }
+    let n = native.general.num_holes();
+    let k = native.general.num_vars;
+    let start = if range.start == 0 {
+        Vec::new()
+    } else {
+        rgs_unrank(n, k, range.start)
+    };
+    let end = if BigUint::from(range.end) < native.space {
+        Some(rgs_unrank(n, k, range.end))
+    } else {
+        None
+    };
+    let shard = RgsShard {
+        n,
+        k,
+        start,
+        end,
+        size: BigUint::from(range.end - range.start),
+    };
+    let mut variant = Variant {
+        index: range.start,
+        names: base.to_vec(),
+    };
+    let mut emitted = 0u64;
+    let mut broke = false;
+    let _ = enumerate_canonical_shard(&native.general, &shard, &mut |rgs| {
+        if let Some(stop) = stop {
+            if stop.load(Ordering::Relaxed) {
+                broke = true;
+                return ControlFlow::Break(());
+            }
+        }
+        // The materialized path's SDR gives an m-block partition the top
+        // m variables in ascending block order.
+        let blocks = rgs.iter().copied().max().map_or(0, |b| b + 1);
+        for (pos, &b) in rgs.iter().enumerate() {
+            variant.names[native.holes[pos] as usize] = native.var_names[k - blocks + b];
+        }
+        variant.index = range.start + emitted;
+        emitted += 1;
+        if visit(&variant).is_break() {
+            broke = true;
+            if let Some(stop) = stop {
+                stop.store(true, Ordering::Relaxed);
+            }
+            return ControlFlow::Break(());
+        }
+        ControlFlow::Continue(())
+    });
+    debug_assert!(
+        broke || emitted == range.end - range.start,
+        "shard emitted {emitted} of {:?}",
+        range
+    );
+    (emitted, broke)
 }
 
 impl ShardedEnumerator {
@@ -406,10 +620,28 @@ impl ShardedEnumerator {
     /// the worker-pool entry point: prepare per file, then stream any
     /// shard from any thread via
     /// [`ShardedEnumerator::enumerate_shard_prepared`].
+    ///
+    /// For [`Algorithm::Canonical`] on qualifying skeletons (one type
+    /// group, every hole seeing the whole variable set) nothing is
+    /// materialized: shards later enumerate their own slice natively, so
+    /// even preparation is O(1) in the space size.
     pub fn prepare(&self, sk: &Skeleton) -> VariantSpace {
-        let (fragments, truncated) = materialize_fragments(&self.config, sk);
+        if self.config.algorithm == Algorithm::Canonical {
+            if let Some(native) = canonical_native_space(&self.config, sk) {
+                // Same meaning as the materialized path's flag: the
+                // budget cuts the (single-group) solution stream short.
+                let truncated = native.space > BigUint::from(self.config.budget as u64);
+                return VariantSpace {
+                    base: base_names(sk),
+                    kind: SpaceKind::CanonicalNative(native),
+                    truncated,
+                };
+            }
+        }
+        let (base, fragments, truncated) = materialize_fragments(&self.config, sk);
         VariantSpace {
-            fragments,
+            base,
+            kind: SpaceKind::Product(fragments),
             truncated,
         }
     }
@@ -431,9 +663,9 @@ impl ShardedEnumerator {
     {
         assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
         let mut truncated = space.truncated;
-        let total = emission_total(&space.fragments, self.config.budget, &mut truncated);
+        let total = space.total_with(self.config.budget, &mut truncated);
         let range = self.ranges_for_total(total).swap_remove(shard);
-        let (emitted, broke) = stream_index_range(&space.fragments, range, None, visit);
+        let (emitted, broke) = space.stream_range(range, None, visit);
         EnumerationOutcome {
             emitted,
             truncated: truncated || broke,
@@ -489,18 +721,18 @@ impl ShardedEnumerator {
     where
         F: Fn(&Variant) -> ControlFlow<()> + Sync,
     {
-        let (fragments, mut truncated) = materialize_fragments(&self.config, sk);
-        let total = emission_total(&fragments, self.config.budget, &mut truncated);
+        let space = self.prepare(sk);
+        let mut truncated = space.truncated;
+        let total = space.total_with(self.config.budget, &mut truncated);
         if self.shards == 1 || total <= 1 {
-            let (emitted, broke) =
-                stream_index_range(&fragments, 0..total, None, &mut |v| visit(v));
+            let (emitted, broke) = space.stream_range(0..total, None, &mut |v| visit(v));
             return EnumerationOutcome {
                 emitted,
                 truncated: truncated || broke,
             };
         }
         let stop = AtomicBool::new(false);
-        let fragments = &fragments;
+        let space = &space;
         let stop_ref = &stop;
         let mut emitted = 0u64;
         let mut broke = false;
@@ -510,7 +742,7 @@ impl ShardedEnumerator {
                 .into_iter()
                 .map(|range| {
                     scope.spawn(move || {
-                        stream_index_range(fragments, range, Some(stop_ref), &mut |v| visit(v))
+                        space.stream_range(range, Some(stop_ref), &mut |v| visit(v))
                     })
                 })
                 .collect();
@@ -528,11 +760,13 @@ impl ShardedEnumerator {
 
     /// Collects realized variant sources using all shards in parallel and
     /// merges them in shard order — byte-identical to the serial
-    /// [`Enumerator::collect_sources`].
+    /// [`Enumerator::collect_sources`]. Each worker renders through one
+    /// reusable buffer.
     pub fn collect_sources(&self, sk: &Skeleton) -> Vec<String> {
-        let (fragments, mut truncated) = materialize_fragments(&self.config, sk);
-        let total = emission_total(&fragments, self.config.budget, &mut truncated);
-        let fragments = &fragments;
+        let space = self.prepare(sk);
+        let mut truncated = space.truncated;
+        let total = space.total_with(self.config.budget, &mut truncated);
+        let space = &space;
         let ranges = self.ranges_for_total(total);
         std::thread::scope(|scope| {
             let handles: Vec<_> = ranges
@@ -540,7 +774,7 @@ impl ShardedEnumerator {
                 .map(|range| {
                     scope.spawn(move || {
                         let mut out = Vec::with_capacity((range.end - range.start) as usize);
-                        stream_index_range(fragments, range, None, &mut |v| {
+                        space.stream_range(range, None, &mut |v| {
                             out.push(v.source(sk));
                             ControlFlow::Continue(())
                         });
@@ -972,6 +1206,62 @@ mod tests {
             "break did not stop shards ({} of {total})",
             outcome.emitted
         );
+    }
+
+    #[test]
+    fn canonical_native_shards_match_serial_on_a_bell_space() {
+        // Five same-type function-top locals, every hole seeing all five:
+        // the shard-native canonical path applies (single unconstrained
+        // group, Bell-number space) and must be byte-identical to the
+        // serial (fully materialized) enumerator, per shard and merged.
+        let sk = Skeleton::from_source(
+            "int main() { int a, b, c, d, e; a = b + c; d = e + a; b = c + d; e = a; return 0; }",
+        )
+        .expect("builds");
+        let config = EnumeratorConfig {
+            algorithm: Algorithm::Canonical,
+            budget: 1_000_000,
+            ..Default::default()
+        };
+        let serial = serial_sequence(&sk, config);
+        assert!(serial.len() > 100, "space large enough to matter");
+        for shards in [2usize, 3, 5, 8] {
+            let sharded = ShardedEnumerator::new(config, shards);
+            let space = sharded.prepare(&sk);
+            let mut union: Vec<(u64, String)> = Vec::new();
+            for shard in 0..shards {
+                sharded.enumerate_shard_prepared(&space, shard, &mut |v| {
+                    union.push((v.index, v.source(&sk)));
+                    ControlFlow::Continue(())
+                });
+            }
+            assert_eq!(union, serial, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn canonical_native_budget_truncation_matches_serial() {
+        // The native path must clamp to the budget exactly where the
+        // materialized serial path does.
+        let sk = fig1();
+        for budget in [1usize, 7, 10, 63, 64, 100] {
+            let config = EnumeratorConfig {
+                algorithm: Algorithm::Canonical,
+                budget,
+                ..Default::default()
+            };
+            let serial = Enumerator::new(config).collect_sources(&sk);
+            let sharded = ShardedEnumerator::new(config, 4);
+            assert_eq!(sharded.collect_sources(&sk), serial, "budget {budget}");
+            assert_eq!(
+                sharded.prepare(&sk).truncated(),
+                budget < 64,
+                "budget {budget}"
+            );
+            let outcome = sharded.enumerate(&sk, &|_| ControlFlow::Continue(()));
+            assert_eq!(outcome.emitted, serial.len() as u64);
+            assert_eq!(outcome.truncated, budget < 64, "budget {budget}");
+        }
     }
 
     #[test]

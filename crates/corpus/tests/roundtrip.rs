@@ -62,8 +62,11 @@ proptest! {
             };
             let (sols, _) = spe_combinatorics::paper_solutions(&group.flat, 50);
             let Some(sol) = sols.last() else { continue };
-            let rename = sk.rename_for_solution(group, sol);
-            let variant_src = sk.realize(&rename);
+            let mut names: Vec<_> = sk.holes().iter().map(|h| sk.var_name(h.var)).collect();
+            for (h, n) in sk.rename_for_solution(group, sol) {
+                names[h as usize] = n;
+            }
+            let variant_src = sk.render(&names);
             let sk2 = Skeleton::from_source(&variant_src).expect("variant analyzes");
             let units2 = sk2.units(Granularity::Intra);
             let count1: Vec<_> = units

@@ -67,8 +67,9 @@ pub fn figure9(files: &[TestFile], budget: usize, pm_deletions: &[usize], seed: 
     let mut base_cov = merge_coverage_of(&originals, opts);
     let baseline = CoveragePoint::of(&base_cov);
 
-    // SPE variants.
+    // SPE variants, rendered through one reusable template buffer.
     let mut spe_cov = base_cov.clone();
+    let mut buf = String::new();
     for f in files {
         let Ok(sk) = Skeleton::from_source(&f.source) else {
             continue;
@@ -79,7 +80,8 @@ pub fn figure9(files: &[TestFile], budget: usize, pm_deletions: &[usize], seed: 
             budget,
         });
         e.enumerate(&sk, &mut |v| {
-            if let Ok(p) = spe_minic::parse(&v.source(&sk)) {
+            v.render_into(&sk, &mut buf);
+            if let Ok(p) = spe_minic::parse(&buf) {
                 for &opt in opts {
                     spe_cov.merge(&spe_simcc::coverage_probe(&p, opt));
                 }

@@ -15,6 +15,7 @@
 //! * [`coverage_run`] measures pass/point coverage improvements of SPE
 //!   and mutation variants over the baseline suite (Figure 9).
 
+use crate::steal::WorkQueue;
 use spe_core::{
     Algorithm, EnumeratorConfig, Granularity, ShardedEnumerator, Skeleton, VariantSpace,
 };
@@ -22,11 +23,11 @@ use spe_corpus::TestFile;
 use spe_simcc::{interp, CompileError, Compiler, CompilerId};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 pub mod coverage_run;
 pub mod mutation;
+pub mod steal;
 pub mod triage;
 
 /// Campaign configuration.
@@ -253,15 +254,19 @@ fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mu
 
 /// Processes one (file, shard) work item: enumerates the shard's slice of
 /// the file's variant space and feeds every variant to [`process_variant`].
+/// `buf` is the worker's reusable render buffer.
 fn process_work_item(
     file: &TestFile,
     shard: usize,
     shards_per_file: usize,
     config: &CampaignConfig,
+    buf: &mut String,
 ) -> ShardOutput {
     match prepare_file(file, shards_per_file, config) {
         None => ShardOutput::default(),
-        Some((sk, space)) => process_file_shard(file, &sk, &space, shard, shards_per_file, config),
+        Some((sk, space)) => {
+            process_file_shard(file, &sk, &space, shard, shards_per_file, config, buf)
+        }
     }
 }
 
@@ -290,7 +295,10 @@ fn campaign_enumerator(config: &CampaignConfig, shards_per_file: usize) -> Shard
     )
 }
 
-/// Streams one shard of a prepared file through the compilers.
+/// Streams one shard of a prepared file through the compilers. Every
+/// variant is rendered through the worker's reusable `buf` via the
+/// skeleton's compiled template — no per-variant source allocation.
+#[allow(clippy::too_many_arguments)]
 fn process_file_shard(
     file: &TestFile,
     sk: &Skeleton,
@@ -298,6 +306,7 @@ fn process_file_shard(
     shard: usize,
     shards_per_file: usize,
     config: &CampaignConfig,
+    buf: &mut String,
 ) -> ShardOutput {
     let mut out = ShardOutput {
         file_processed: shard == 0,
@@ -307,8 +316,8 @@ fn process_file_shard(
         space,
         shard,
         &mut |variant| {
-            let src = variant.source(sk);
-            process_variant(file, &src, config, &mut out);
+            variant.render_into(sk, buf);
+            process_variant(file, buf, config, &mut out);
             ControlFlow::Continue(())
         },
     );
@@ -342,10 +351,11 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> CampaignReport {
 /// UB-checking reference interpreter first and skips undefined variants,
 /// exactly as §5.4 prescribes.
 pub fn run_campaign(files: &[TestFile], config: &CampaignConfig) -> CampaignReport {
+    let mut buf = String::new();
     merge_outputs(
         files
             .iter()
-            .map(|file| process_work_item(file, 0, 1, config))
+            .map(|file| process_work_item(file, 0, 1, config, &mut buf))
             .collect(),
     )
 }
@@ -353,6 +363,13 @@ pub fn run_campaign(files: &[TestFile], config: &CampaignConfig) -> CampaignRepo
 /// Runs the campaign with a pool of `workers` threads, fanning
 /// `files × shards` work items across the pool (each file's variant space
 /// is cut into `workers` shards, so even a single large file parallelizes).
+/// Work items live in a shared work-stealing queue ([`steal::WorkQueue`]):
+/// each worker is dealt a contiguous run of items — so consecutive shards
+/// of one file stay on one thread, keeping its prepared variant space warm
+/// — and a worker that runs dry steals from the back of the first
+/// non-empty neighbour (scanning round-robin), smoothing skew when one
+/// file's variants compile much slower than the rest. Each worker renders
+/// variants through one reusable buffer.
 ///
 /// The merged [`CampaignReport`] — finding order, dedup decisions,
 /// reproducers and counters — is **byte-identical** to [`run_campaign`] on
@@ -370,33 +387,41 @@ pub fn run_campaign_parallel(
         return run_campaign(files, config);
     }
     let shards_per_file = workers;
-    let items: Vec<(usize, usize)> = (0..files.len())
-        .flat_map(|f| (0..shards_per_file).map(move |s| (f, s)))
-        .collect();
-    let next = AtomicUsize::new(0);
-    let outputs: Mutex<Vec<Option<ShardOutput>>> =
-        Mutex::new((0..items.len()).map(|_| None).collect());
+    // Job i = (file i / shards, shard i % shards); the queue hands out
+    // indices, the outputs slot keeps the deterministic fold order.
+    let jobs = files.len() * shards_per_file;
+    let queue = WorkQueue::new((0..jobs).collect(), workers);
+    let outputs: Mutex<Vec<Option<ShardOutput>>> = Mutex::new((0..jobs).map(|_| None).collect());
     // Per-file skeleton + materialized variant space, computed once by
     // whichever worker reaches the file first and shared by the rest.
     let prepared: Vec<OnceLock<Option<(Skeleton, VariantSpace)>>> =
         (0..files.len()).map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(items.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(file_idx, shard)) = items.get(i) else {
-                    return;
-                };
-                let file = &files[file_idx];
-                let out = match prepared[file_idx]
-                    .get_or_init(|| prepare_file(file, shards_per_file, config))
-                {
-                    None => ShardOutput::default(),
-                    Some((sk, space)) => {
-                        process_file_shard(file, sk, space, shard, shards_per_file, config)
-                    }
-                };
-                outputs.lock().expect("poisoned")[i] = Some(out);
+        for w in 0..workers {
+            let queue = &queue;
+            let outputs = &outputs;
+            let prepared = &prepared;
+            scope.spawn(move || {
+                let mut buf = String::new();
+                while let Some(i) = queue.pop(w) {
+                    let (file_idx, shard) = (i / shards_per_file, i % shards_per_file);
+                    let file = &files[file_idx];
+                    let out = match prepared[file_idx]
+                        .get_or_init(|| prepare_file(file, shards_per_file, config))
+                    {
+                        None => ShardOutput::default(),
+                        Some((sk, space)) => process_file_shard(
+                            file,
+                            sk,
+                            space,
+                            shard,
+                            shards_per_file,
+                            config,
+                            &mut buf,
+                        ),
+                    };
+                    outputs.lock().expect("poisoned")[i] = Some(out);
+                }
             });
         }
     });

@@ -35,5 +35,5 @@ pub mod sema;
 
 pub use ast::Program;
 pub use parser::{parse, ParseError};
-pub use printer::{print_program, print_renamed};
+pub use printer::{print_program, print_renamed, print_template, TemplatePiece};
 pub use sema::{analyze, SemaError, SymbolTable};

@@ -41,6 +41,7 @@ pub fn print_renamed(p: &Program, rename: &HashMap<OccId, String>) -> String {
         out: String::new(),
         indent: 0,
         rename,
+        template: None,
     };
     for item in &p.items {
         pr.item(item);
@@ -48,10 +49,71 @@ pub fn print_renamed(p: &Program, rename: &HashMap<OccId, String>) -> String {
     pr.out
 }
 
+/// One piece of a print *template*: either literal source text or the site
+/// of a renameable variable occurrence (with its original name).
+///
+/// Concatenating every piece — substituting each [`TemplatePiece::Occ`]
+/// with its original name — reproduces [`print_program`] byte for byte,
+/// because the template printer shares the exact same traversal and only
+/// diverts occurrence names into their own pieces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplatePiece {
+    /// Literal text between occurrences (possibly empty).
+    Text(String),
+    /// A variable use site: downstream renderers splice the variant's
+    /// chosen name here.
+    Occ {
+        /// The occurrence id of the use site.
+        occ: OccId,
+        /// The variable name the original program uses here.
+        name: String,
+    },
+}
+
+/// Prints a program into template pieces: the static text of the program
+/// with every variable use site split out as a [`TemplatePiece::Occ`].
+///
+/// This is the compile-once half of fast variant rendering: walk the AST
+/// once here, then realize any number of renamings by splicing names
+/// between the static pieces, with no further AST traversal.
+///
+/// ```
+/// use spe_minic::{parse, print_program, print_template, TemplatePiece};
+///
+/// let prog = parse("int a, b; void f() { a = b; }").unwrap();
+/// let pieces = print_template(&prog);
+/// let rebuilt: String = pieces
+///     .iter()
+///     .map(|p| match p {
+///         TemplatePiece::Text(t) => t.as_str(),
+///         TemplatePiece::Occ { name, .. } => name.as_str(),
+///     })
+///     .collect();
+/// assert_eq!(rebuilt, print_program(&prog));
+/// ```
+pub fn print_template(p: &Program) -> Vec<TemplatePiece> {
+    let empty = HashMap::new();
+    let mut pr = Printer {
+        out: String::new(),
+        indent: 0,
+        rename: &empty,
+        template: Some(Vec::new()),
+    };
+    for item in &p.items {
+        pr.item(item);
+    }
+    let mut pieces = pr.template.expect("template mode");
+    pieces.push(TemplatePiece::Text(pr.out));
+    pieces
+}
+
 struct Printer<'a> {
     out: String,
     indent: usize,
     rename: &'a HashMap<OccId, String>,
+    /// When set, occurrence names are diverted into pieces instead of
+    /// `out` (which then only accumulates the text since the last piece).
+    template: Option<Vec<TemplatePiece>>,
 }
 
 impl Printer<'_> {
@@ -279,8 +341,16 @@ impl Printer<'_> {
             ExprKind::CharLit(c) => self.out.push_str(&format!("'{}'", escape_char(*c))),
             ExprKind::StrLit(s) => self.out.push_str(&format!("\"{s}\"")),
             ExprKind::Ident(id) => {
-                let name = self.rename.get(&id.occ).unwrap_or(&id.name);
-                self.out.push_str(name);
+                if let Some(pieces) = &mut self.template {
+                    pieces.push(TemplatePiece::Text(std::mem::take(&mut self.out)));
+                    pieces.push(TemplatePiece::Occ {
+                        occ: id.occ,
+                        name: id.name.clone(),
+                    });
+                } else {
+                    let name = self.rename.get(&id.occ).unwrap_or(&id.name);
+                    self.out.push_str(name);
+                }
             }
             ExprKind::Unary(op, inner) => {
                 self.out.push_str(op.as_str());
@@ -483,6 +553,44 @@ mod tests {
         let s = print_renamed(&p, &map);
         assert!(s.contains("a = a + b;"), "got: {s}");
         assert!(s.contains("int a, b;"), "declarations must not change: {s}");
+    }
+
+    #[test]
+    fn template_pieces_reassemble_to_print_program() {
+        let sources = [
+            "int a, b = 1; int main() { b = b - a; if (a) a = a - b; return 0; }",
+            "int a = 0; int main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }",
+            "int u[3]; int a; void f() { u[a + 1] = u[0]; a = a ? -a : (a, a); }",
+            "int g; void f() { for (int j = 0; j < 4; j++) g += j; }",
+        ];
+        for src in sources {
+            let p = parse(src).expect("parses");
+            let pieces = print_template(&p);
+            let rebuilt: String = pieces
+                .iter()
+                .map(|piece| match piece {
+                    TemplatePiece::Text(t) => t.as_str(),
+                    TemplatePiece::Occ { name, .. } => name.as_str(),
+                })
+                .collect();
+            assert_eq!(rebuilt, print_program(&p), "template drifted for {src}");
+        }
+    }
+
+    #[test]
+    fn template_substitution_matches_print_renamed() {
+        let p = parse("int a, b; void f() { a = b + a; }").expect("parses");
+        let mut map = HashMap::new();
+        map.insert(OccId(1), "a".to_string());
+        map.insert(OccId(2), "b".to_string());
+        let spliced: String = print_template(&p)
+            .iter()
+            .map(|piece| match piece {
+                TemplatePiece::Text(t) => t.clone(),
+                TemplatePiece::Occ { occ, name } => map.get(occ).unwrap_or(name).clone(),
+            })
+            .collect();
+        assert_eq!(spliced, print_renamed(&p, &map));
     }
 
     #[test]

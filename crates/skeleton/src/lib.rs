@@ -39,9 +39,12 @@ use spe_minic::ast::{OccId, Program, Type};
 use spe_minic::sema::{ScopeKind, SymbolTable, VarId, VarKind};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::OnceLock;
 
+pub mod render;
 pub mod while_skeleton;
 
+pub use render::{NameId, NameTable, RenderTemplate};
 pub use while_skeleton::WhileSkeleton;
 
 /// Errors from skeleton construction.
@@ -160,6 +163,14 @@ pub struct Skeleton {
     program: Program,
     table: SymbolTable,
     holes: Vec<Hole>,
+    /// Interned candidate names; `var_names[v]` is the id of variable
+    /// `VarId(v)`'s name (distinct variables may share one id under
+    /// shadowing).
+    names: NameTable,
+    var_names: Vec<NameId>,
+    /// Compiled render template, built lazily on first use and shared by
+    /// all render calls thereafter.
+    template: OnceLock<RenderTemplate>,
 }
 
 impl Skeleton {
@@ -190,10 +201,19 @@ impl Skeleton {
                 func: occ.func,
             })
             .collect();
+        let mut names = NameTable::new();
+        let var_names = table
+            .vars()
+            .iter()
+            .map(|v| names.intern(&v.name))
+            .collect();
         Ok(Skeleton {
             program,
             table,
             holes,
+            names,
+            var_names,
+            template: OnceLock::new(),
         })
     }
 
@@ -366,10 +386,42 @@ impl Skeleton {
         out
     }
 
-    /// Builds the rename map realizing a paper/orbit solution of `group`:
-    /// blocks drawing from the global pool get distinct global variables
-    /// in block order; blocks of flat scope `s` get distinct variables of
-    /// that scope.
+    /// The interned candidate-name table (all declared variable names).
+    pub fn names(&self) -> &NameTable {
+        &self.names
+    }
+
+    /// The interned name of a variable.
+    pub fn var_name(&self, var: VarId) -> NameId {
+        self.var_names[var.0]
+    }
+
+    /// The compiled render template, built on first use by walking the
+    /// program through the printer exactly once. Subsequent variant
+    /// renders are pure segment/slot splices.
+    pub fn template(&self) -> &RenderTemplate {
+        self.template.get_or_init(|| {
+            let hole_of_occ: HashMap<OccId, u32> = self
+                .holes
+                .iter()
+                .enumerate()
+                .map(|(i, h)| (h.occ, i as u32))
+                .collect();
+            // The table is frozen after construction, so every original
+            // name is already interned; `lookup` cannot miss.
+            RenderTemplate::from_pieces(
+                spe_minic::print_template(&self.program),
+                &hole_of_occ,
+                |name| self.names.lookup(name).expect("declared names interned"),
+            )
+        })
+    }
+
+    /// Builds the flat rename vector realizing a paper/orbit solution of
+    /// `group`: blocks drawing from the global pool get distinct global
+    /// variables in block order; blocks of flat scope `s` get distinct
+    /// variables of that scope. Each entry is `(hole index, chosen name)`,
+    /// covering exactly the group's holes.
     ///
     /// # Panics
     ///
@@ -379,10 +431,10 @@ impl Skeleton {
         &self,
         group: &TypeGroup,
         solution: &ScopedSolution,
-    ) -> HashMap<OccId, String> {
+    ) -> Vec<(u32, NameId)> {
         let mut next_global = 0usize;
         let mut next_local: Vec<usize> = vec![0; group.flat_scope_vars.len()];
-        let mut rename = HashMap::new();
+        let mut rename = Vec::with_capacity(group.holes.len());
         for (block, pool) in solution.blocks.iter().zip(&solution.pools) {
             let var = match pool {
                 PoolRef::Global => {
@@ -396,35 +448,58 @@ impl Skeleton {
                     v
                 }
             };
-            let name = self.table.var(var).name.clone();
+            let name = self.var_name(var);
             for &pos in block {
-                let hole = &self.holes[group.holes[pos]];
-                rename.insert(hole.occ, name.clone());
+                rename.push((group.holes[pos] as u32, name));
             }
         }
         rename
     }
 
-    /// Builds the rename map realizing a canonical-partition solution
-    /// (an RGS over the group's holes), using an SDR assignment.
+    /// Builds the flat rename vector realizing a canonical-partition
+    /// solution (an RGS over the group's holes), using an SDR assignment.
     /// Returns `None` if the partition has no valid assignment.
-    pub fn rename_for_rgs(
-        &self,
-        group: &TypeGroup,
-        rgs: &[usize],
-    ) -> Option<HashMap<OccId, String>> {
+    pub fn rename_for_rgs(&self, group: &TypeGroup, rgs: &[usize]) -> Option<Vec<(u32, NameId)>> {
         let assign = spe_combinatorics::assignment_for_rgs(&group.general, rgs)?;
-        let mut rename = HashMap::new();
-        for (pos, &block) in rgs.iter().enumerate() {
-            let var = group.vars[assign[block]];
-            let hole = &self.holes[group.holes[pos]];
-            rename.insert(hole.occ, self.table.var(var).name.clone());
-        }
-        Some(rename)
+        Some(
+            rgs.iter()
+                .enumerate()
+                .map(|(pos, &block)| {
+                    let var = group.vars[assign[block]];
+                    (group.holes[pos] as u32, self.var_name(var))
+                })
+                .collect(),
+        )
     }
 
-    /// Emits source with the given use-site renaming (the realization of
-    /// one enumerated variant). Maps from several groups can be merged
+    /// Renders the variant whose hole `h` is filled with `names[h]` into
+    /// `out` (cleared first), via the compiled template. An empty slice
+    /// renders the original program. The hot path of enumeration: with a
+    /// reused buffer this performs no per-variant heap allocation.
+    pub fn render_into(&self, names: &[NameId], out: &mut String) {
+        self.template().render_into(names, &self.names, out);
+    }
+
+    /// [`render_into`](Self::render_into) allocating a fresh string.
+    pub fn render(&self, names: &[NameId]) -> String {
+        self.template().render(names, &self.names)
+    }
+
+    /// Converts a full hole-indexed rename vector into the legacy
+    /// occurrence-keyed string map accepted by [`realize`](Self::realize).
+    /// Only needed to cross-check the template path against the printer.
+    pub fn rename_map(&self, names: &[NameId]) -> HashMap<OccId, String> {
+        assert_eq!(names.len(), self.holes.len(), "one name per hole");
+        self.holes
+            .iter()
+            .zip(names)
+            .map(|(h, &n)| (h.occ, self.names.name(n).to_string()))
+            .collect()
+    }
+
+    /// Emits source with the given use-site renaming by re-walking the
+    /// AST — the legacy realization path, kept as the differential oracle
+    /// for the template renderer. Maps from several groups can be merged
     /// into one before calling.
     pub fn realize(&self, rename: &HashMap<OccId, String>) -> String {
         spe_minic::print_renamed(&self.program, rename)
@@ -444,6 +519,16 @@ mod tests {
 
     fn sk(src: &str) -> Skeleton {
         Skeleton::from_source(src).expect("skeleton builds")
+    }
+
+    /// Expands a group's rename pairs into a full hole-indexed name
+    /// vector (uncovered holes keep their original names).
+    fn apply(s: &Skeleton, pairs: &[(u32, NameId)]) -> Vec<NameId> {
+        let mut names: Vec<NameId> = s.holes().iter().map(|h| s.var_name(h.var)).collect();
+        for &(h, n) in pairs {
+            names[h as usize] = n;
+        }
+        names
     }
 
     #[test]
@@ -549,11 +634,38 @@ mod tests {
         let (sols, _) = spe_combinatorics::paper_solutions(&g.flat, 1000);
         assert_eq!(sols.len(), 64);
         for sol in &sols {
-            let rename = s.rename_for_solution(g, sol);
-            let src = s.realize(&rename);
+            let names = apply(&s, &s.rename_for_solution(g, sol));
+            let src = s.render(&names);
             let reparsed = Skeleton::from_source(&src)
                 .unwrap_or_else(|e| panic!("invalid realization: {e}\n{src}"));
             assert_eq!(reparsed.num_holes(), 7);
+        }
+    }
+
+    #[test]
+    fn template_render_matches_legacy_realize() {
+        let s = sk(r#"
+            int main() {
+                int a = 1, b = 0;
+                if (a) {
+                    int c = 3, d = 5;
+                    b = c + d;
+                }
+                printf("%d", a);
+                printf("%d", b);
+                return 0;
+            }
+        "#);
+        assert_eq!(s.template().num_slots(), s.num_holes());
+        assert_eq!(s.render(&[]), s.source(), "identity render");
+        let units = s.units(Granularity::Intra);
+        let g = &units[0].groups[0];
+        let (sols, _) = spe_combinatorics::paper_solutions(&g.flat, 1000);
+        let mut buf = String::new();
+        for sol in &sols {
+            let names = apply(&s, &s.rename_for_solution(g, sol));
+            s.render_into(&names, &mut buf);
+            assert_eq!(buf, s.realize(&s.rename_map(&names)), "template drifted");
         }
     }
 
@@ -565,8 +677,7 @@ mod tests {
         let (sols, _) = spe_combinatorics::paper_solutions(&g.flat, 1000);
         let mut seen = std::collections::HashSet::new();
         for sol in &sols {
-            let rename = s.rename_for_solution(g, sol);
-            let src = s.realize(&rename);
+            let src = s.render(&apply(&s, &s.rename_for_solution(g, sol)));
             assert!(seen.insert(src.clone()), "duplicate realization:\n{src}");
         }
     }
@@ -591,7 +702,7 @@ mod tests {
         assert_eq!(BigUint::from(rgss.len()), canonical_count(&g.general));
         for rgs in &rgss {
             let rename = s.rename_for_rgs(g, rgs).expect("valid partition");
-            let src = s.realize(&rename);
+            let src = s.render(&apply(&s, &rename));
             Skeleton::from_source(&src).unwrap_or_else(|e| panic!("scoping violated: {e}\n{src}"));
         }
     }
