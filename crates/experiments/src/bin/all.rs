@@ -7,8 +7,11 @@ fn main() {
     let t1 = spe_experiments::table1(&run);
     let t2 = spe_experiments::table2(scale);
     let (f8a, f8b) = spe_experiments::figure8(&run);
-    let t3 = spe_experiments::table3(scale);
+    let (t3, stable_report) = spe_experiments::table3(scale);
     let (t4, trunk_report) = spe_experiments::table4(scale);
+    let families = ["gcc-sim", "clang-sim"];
+    let t3_corrected = spe_experiments::reduction_summary(&stable_report, &families);
+    let t4_corrected = spe_experiments::reduction_summary(&trunk_report, &families);
     let f9 = spe_experiments::figure9(scale);
     let f10 = spe_experiments::figure10(&trunk_report);
     let gen = spe_experiments::generality();
@@ -17,7 +20,9 @@ fn main() {
         println!("{}", t2.render_markdown());
         println!("```text\n{}\n{}```\n", f8a.render(40), f8b.render(40));
         println!("{}", t3.render_markdown());
+        println!("{}", t3_corrected.render_markdown());
         println!("{}", t4.render_markdown());
+        println!("{}", t4_corrected.render_markdown());
         println!("```text\n{}```\n", f9.render(40));
         for h in &f10 {
             println!("```text\n{}```\n", h.render(40));
@@ -29,7 +34,9 @@ fn main() {
         println!("{}", f8a.render(40));
         println!("{}", f8b.render(40));
         println!("{}", t3.render());
+        println!("{}", t3_corrected.render());
         println!("{}", t4.render());
+        println!("{}", t4_corrected.render());
         println!("{}", f9.render(40));
         for h in &f10 {
             println!("{}", h.render(40));

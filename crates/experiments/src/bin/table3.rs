@@ -1,7 +1,10 @@
-//! Regenerates the paper's Table 3 (stable-release crash signatures).
+//! Regenerates the paper's Table 3 (stable-release crash signatures),
+//! plus the reduce/dedup stage's corrected counts.
 fn main() {
+    let (t, report) = spe_experiments::table3(spe_experiments::Scale::full());
+    println!("{}", t.render());
     println!(
         "{}",
-        spe_experiments::table3(spe_experiments::Scale::full()).render()
+        spe_experiments::reduction_summary(&report, &["gcc-sim", "clang-sim"]).render()
     );
 }

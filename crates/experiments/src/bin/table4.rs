@@ -1,5 +1,10 @@
-//! Regenerates the paper's Table 4 (trunk campaign overview).
+//! Regenerates the paper's Table 4 (trunk campaign overview), plus the
+//! reduce/dedup stage's corrected counts.
 fn main() {
-    let (t, _) = spe_experiments::table4(spe_experiments::Scale::full());
+    let (t, report) = spe_experiments::table4(spe_experiments::Scale::full());
     println!("{}", t.render());
+    println!(
+        "{}",
+        spe_experiments::reduction_summary(&report, &["gcc-sim", "clang-sim"]).render()
+    );
 }

@@ -10,9 +10,12 @@ use spe_bignum::BigUint;
 use spe_core::{naive_count, spe_count, Granularity, Skeleton};
 use spe_corpus::{generate, seeds, stats, CorpusConfig, TestFile};
 use spe_harness::coverage_run::figure9 as run_figure9;
+use spe_harness::reduction::{reduce_findings, ReductionOptions};
 use spe_harness::triage::{figure10 as run_figure10, table4 as run_table4};
-use spe_harness::{run_campaign, run_campaign_parallel, CampaignConfig, FindingKind};
-use spe_report::{figure8_bucket_of, figure8_buckets, Histogram, Table};
+use spe_harness::{run_campaign, run_campaign_parallel, CampaignConfig, CampaignReport, FindingKind};
+use spe_report::{
+    corrected_counts_table, figure8_bucket_of, figure8_buckets, CorrectedCounts, Histogram, Table,
+};
 use spe_simcc::bugs::GCC_VERSIONS;
 use spe_simcc::{Compiler, CompilerId};
 
@@ -293,30 +296,78 @@ pub fn parallel_speedup(scale: Scale, worker_counts: &[usize]) -> Table {
     t
 }
 
+/// Runs the post-campaign reduce/dedup stage over a report with the
+/// campaign's own fuel, fanning reduction jobs across the worker pool.
+pub fn reduce_campaign(report: &mut CampaignReport, config: &CampaignConfig) {
+    reduce_findings(
+        report,
+        &ReductionOptions {
+            fuel: config.fuel,
+            ..ReductionOptions::default()
+        },
+        campaign_workers(),
+    );
+}
+
+/// The reduce/dedup stage's corrected counts (Table-3-style root-cause
+/// folding, derived from witness fingerprints instead of manual triage).
+pub fn reduction_summary(report: &CampaignReport, families: &[&str]) -> Table {
+    let rows: Vec<CorrectedCounts> = families
+        .iter()
+        .map(|family| {
+            let findings: Vec<_> = report.for_family(family).collect();
+            let reduced: Vec<f64> = findings
+                .iter()
+                .filter_map(|f| f.reduced.as_ref())
+                .map(|r| r.shrink_ratio())
+                .collect();
+            let fingerprint_duplicates = findings
+                .iter()
+                .filter(|f| f.fingerprint_duplicate_of.is_some())
+                .count();
+            CorrectedCounts {
+                family: family.to_string(),
+                reports: findings.len(),
+                bug_id_duplicates: findings.iter().filter(|f| f.duplicate_of.is_some()).count(),
+                fingerprint_duplicates,
+                corrected: findings.len() - fingerprint_duplicates,
+                mean_shrink: if reduced.is_empty() {
+                    1.0
+                } else {
+                    reduced.iter().sum::<f64>() / reduced.len() as f64
+                },
+            }
+        })
+        .collect();
+    corrected_counts_table(
+        "Corrected counts after reduction + fingerprint dedup",
+        &rows,
+    )
+}
+
 /// Table 3: crash signatures found on the stable releases, via an SPE
 /// campaign of the corpus + seeds against gcc-sim 4.8.5 and clang-sim
-/// 3.6.
-pub fn table3(scale: Scale) -> Table {
+/// 3.6. The returned report carries reduced witnesses and fingerprint
+/// dedup annotations (render them with [`reduction_summary`]).
+pub fn table3(scale: Scale) -> (Table, spe_harness::CampaignReport) {
     let mut files = seeds::all();
     files.extend(generate(&CorpusConfig {
         files: scale.corpus_files / 4,
         seed: 43,
     }));
-    let report = run_campaign_parallel(
-        &files,
-        &CampaignConfig {
-            compilers: vec![
-                Compiler::new(CompilerId::gcc(485), 0),
-                Compiler::new(CompilerId::gcc(485), 3),
-                Compiler::new(CompilerId::clang(360), 0),
-                Compiler::new(CompilerId::clang(360), 3),
-            ],
-            budget: scale.budget,
-            check_wrong_code: false,
-            ..Default::default()
-        },
-        campaign_workers(),
-    );
+    let config = CampaignConfig {
+        compilers: vec![
+            Compiler::new(CompilerId::gcc(485), 0),
+            Compiler::new(CompilerId::gcc(485), 3),
+            Compiler::new(CompilerId::clang(360), 0),
+            Compiler::new(CompilerId::clang(360), 3),
+        ],
+        budget: scale.budget,
+        check_wrong_code: false,
+        ..Default::default()
+    };
+    let mut report = run_campaign_parallel(&files, &config, campaign_workers());
+    reduce_campaign(&mut report, &config);
     let mut t = Table::new(
         "Table 3: crash signatures found on stable releases",
         &["Compiler", "Signature"],
@@ -326,35 +377,35 @@ pub fn table3(scale: Scale) -> Table {
             t.row(&[f.compiler.to_string(), f.signature.clone()]);
         }
     }
-    t
+    (t, report)
 }
 
 /// Table 4: trunk campaign overview (reported/fixed/duplicate and bug
-/// classification), via an SPE campaign against the trunk profiles.
+/// classification), via an SPE campaign against the trunk profiles. The
+/// returned report carries reduced witnesses and fingerprint dedup
+/// annotations (render them with [`reduction_summary`]).
 pub fn table4(scale: Scale) -> (Table, spe_harness::CampaignReport) {
     let mut files = seeds::all();
     files.extend(generate(&CorpusConfig {
         files: scale.corpus_files / 2,
         seed: 44,
     }));
-    let report = run_campaign_parallel(
-        &files,
-        &CampaignConfig {
-            compilers: vec![
-                Compiler::new(CompilerId::gcc(700), 0),
-                Compiler::new(CompilerId::gcc(700), 1),
-                Compiler::new(CompilerId::gcc(700), 2),
-                Compiler::new(CompilerId::gcc(700), 3),
-                Compiler::new(CompilerId::clang(390), 0),
-                Compiler::new(CompilerId::clang(390), 2),
-                Compiler::new(CompilerId::clang(390), 3),
-            ],
-            budget: scale.budget,
-            check_wrong_code: true,
-            ..Default::default()
-        },
-        campaign_workers(),
-    );
+    let config = CampaignConfig {
+        compilers: vec![
+            Compiler::new(CompilerId::gcc(700), 0),
+            Compiler::new(CompilerId::gcc(700), 1),
+            Compiler::new(CompilerId::gcc(700), 2),
+            Compiler::new(CompilerId::gcc(700), 3),
+            Compiler::new(CompilerId::clang(390), 0),
+            Compiler::new(CompilerId::clang(390), 2),
+            Compiler::new(CompilerId::clang(390), 3),
+        ],
+        budget: scale.budget,
+        check_wrong_code: true,
+        ..Default::default()
+    };
+    let mut report = run_campaign_parallel(&files, &config, campaign_workers());
+    reduce_campaign(&mut report, &config);
     let rows = run_table4(&report, &["gcc-sim", "clang-sim"]);
     let mut t = Table::new(
         "Table 4: trunk campaign overview",
@@ -462,13 +513,18 @@ pub fn generality() -> Table {
         let mut crashes = std::collections::BTreeSet::new();
         let mut wrong = 0usize;
         let mut variants = 0usize;
+        let mut names = Vec::new();
+        let mut rendered = String::new();
         for src in &programs {
             let Ok(sk) = WhileSkeleton::from_source(src) else {
                 continue;
             };
             let k = sk.variables().len();
             for rgs in Rgs::new(sk.num_holes(), k) {
-                let variant = sk.realize_rgs(&rgs);
+                // Template-compiled splice into reused buffers; variants
+                // needing execution are re-parsed from the rendered text.
+                sk.render_rgs_into(&rgs, &mut names, &mut rendered);
+                let variant = spe_while::parse(&rendered).expect("rendered variant parses");
                 variants += 1;
                 let reference = match interpret(&variant, 20_000) {
                     Ok(Outcome::Finished(s)) => s,
@@ -540,6 +596,35 @@ mod tests {
             let sum: f64 = series.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
         }
+    }
+
+    #[test]
+    fn table4_carries_reduced_witnesses_and_corrected_counts() {
+        let (t, report) = table4(Scale {
+            corpus_files: 60,
+            budget: 30,
+            coverage_files: 5,
+        });
+        assert!(!t.rows.is_empty());
+        // Every primary finding carries a reduced witness with a
+        // fingerprint, and the witness never grew.
+        for f in report.primary_findings() {
+            let reduced = f
+                .reduced
+                .as_ref()
+                .unwrap_or_else(|| panic!("{} lacks a reduced witness", f.signature));
+            assert!(reduced.reduced_bytes <= reduced.original_bytes);
+            assert_eq!(reduced.fingerprint.len(), 16, "hex fingerprint");
+        }
+        // The fingerprint pass folds at least one distinct-signature pair
+        // (the same trunk bug surfaces at several optimization levels).
+        assert!(
+            report.fingerprint_duplicates() >= 1,
+            "no fingerprint merges in the trunk campaign"
+        );
+        let summary = reduction_summary(&report, &["gcc-sim", "clang-sim"]);
+        let rendered = summary.render();
+        assert!(rendered.contains("Dup (fingerprint)"), "{rendered}");
     }
 
     #[test]

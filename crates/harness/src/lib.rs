@@ -27,8 +27,11 @@ use std::sync::{Mutex, OnceLock};
 
 pub mod coverage_run;
 pub mod mutation;
+pub mod reduction;
 pub mod steal;
 pub mod triage;
+
+pub use reduction::ReducedWitness;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -108,6 +111,15 @@ pub struct Finding {
     /// `Some(signature)` when the same underlying defect was already
     /// reported under another signature (the paper's "Duplicate" column).
     pub duplicate_of: Option<String>,
+    /// The reduced witness and its structural fingerprint, filled by the
+    /// post-campaign [`reduction`] stage (`None` until it runs, or when
+    /// reduction could not reproduce the finding).
+    pub reduced: Option<ReducedWitness>,
+    /// `Some(signature)` when an earlier finding's reduced witness has
+    /// the same structural fingerprint — the reduction stage's
+    /// *ground-truth-free* duplicate detection, which needs no seeded
+    /// bug ids (unlike [`Finding::duplicate_of`]'s registry-based pass).
+    pub fingerprint_duplicate_of: Option<String>,
 }
 
 /// Aggregate campaign results.
@@ -181,6 +193,8 @@ fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mu
                     file: file.name.clone(),
                     reproducer: src.to_string(),
                     duplicate_of: None,
+                    reduced: None,
+                    fingerprint_duplicate_of: None,
                 });
             }
             Err(CompileError::Unsupported(_)) => {}
@@ -199,17 +213,18 @@ fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mu
                         file: file.name.clone(),
                         reproducer: src.to_string(),
                         duplicate_of: None,
+                        reduced: None,
+                        fingerprint_duplicate_of: None,
                     });
                 }
                 if config.check_wrong_code {
-                    // Evaluate the reference once per variant.
+                    // Evaluate the reference once per variant, with the
+                    // same limits the reduction oracle re-checks under
+                    // (`spe_simcc::observe` shares these helpers).
                     if reference.is_none() {
                         reference = Some(interp::run(
                             &prog,
-                            interp::Limits {
-                                fuel: config.fuel,
-                                max_depth: 64,
-                            },
+                            spe_simcc::reference_limits(config.fuel),
                         ));
                     }
                     match reference.as_ref().expect("just set") {
@@ -218,15 +233,8 @@ fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mu
                             out.variants_ub_skipped += 1;
                         }
                         Ok(expected) => {
-                            let got = compiled.execute(config.fuel * 4);
-                            let mismatch = match &got {
-                                Ok(run) => {
-                                    run.exit_code != expected.exit_code
-                                        || run.output != expected.output
-                                }
-                                Err(_) => true,
-                            };
-                            if mismatch {
+                            if spe_simcc::differs_from_reference(&compiled, expected, config.fuel)
+                            {
                                 let bug_id = compiled.miscompiled_by.first().copied();
                                 out.candidates.push(Finding {
                                     kind: FindingKind::WrongCode,
@@ -242,6 +250,8 @@ fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mu
                                     file: file.name.clone(),
                                     reproducer: src.to_string(),
                                     duplicate_of: None,
+                                    reduced: None,
+                                    fingerprint_duplicate_of: None,
                                 });
                             }
                         }

@@ -1,0 +1,341 @@
+//! Post-campaign test-case reduction and fingerprint deduplication.
+//!
+//! A [`crate::CampaignReport`] fresh out of [`crate::run_campaign`]
+//! carries, for every unique-signature finding, the **first raw
+//! reproducer** — often a whole corpus file of which a single statement
+//! matters. This stage (the pipeline step between campaign merge and
+//! report emission; see `DESIGN.md` §7) makes the findings actionable:
+//!
+//! 1. every finding's reproducer is shrunk with the `spe-reduce`
+//!    hierarchical reducer, under the oracle *"the same `simcc`
+//!    configuration still observes the same [`crate::FindingKind`] and
+//!    bug id"* ([`reproduces`]);
+//! 2. each reduced witness is canonicalized and fingerprinted, and a
+//!    second dedup pass marks findings whose fingerprints collide
+//!    ([`Finding::fingerprint_duplicate_of`]) — catching
+//!    distinct-signature duplicates of one root cause (the same bug
+//!    reported from several optimization levels or corpus files) without
+//!    consulting the seeded-bug registry, the way the paper's authors
+//!    manually folded Table 3/4 reports into root causes.
+//!
+//! Reduction jobs fan out over the same work-stealing
+//! [`crate::steal::WorkQueue`] the parallel campaign uses; since each
+//! job is a pure deterministic function of its finding, the report is
+//! **byte-identical for every worker count** — witnesses are written into
+//! per-finding slots and the fingerprint pass folds them in finding
+//! order.
+
+use crate::steal::WorkQueue;
+use crate::{CampaignReport, Finding, FindingKind};
+use spe_minic::ast::Program;
+use spe_reduce::{reduce, ReduceConfig};
+use spe_simcc::Compiler;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A finding's reduced witness plus reduction bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedWitness {
+    /// The reduced, canonicalized reproducer (never larger than the raw
+    /// one; still reproduces the finding under its configuration).
+    pub source: String,
+    /// Structural fingerprint of the witness (α-invariant, hex).
+    pub fingerprint: String,
+    /// Byte size of the raw first reproducer.
+    pub original_bytes: usize,
+    /// Byte size of [`ReducedWitness::source`].
+    pub reduced_bytes: usize,
+    /// Oracle invocations the reduction spent.
+    pub oracle_calls: usize,
+}
+
+impl ReducedWitness {
+    /// How many times smaller the witness is than the raw reproducer.
+    pub fn shrink_ratio(&self) -> f64 {
+        self.original_bytes as f64 / self.reduced_bytes.max(1) as f64
+    }
+}
+
+/// Options of the reduction stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReductionOptions {
+    /// Interpreter/VM fuel for wrong-code oracle re-checks; use the
+    /// campaign's [`crate::CampaignConfig::fuel`] so the oracle agrees
+    /// with what the campaign observed.
+    pub fuel: u64,
+    /// Reducer limits.
+    pub reduce: ReduceConfig,
+}
+
+impl Default for ReductionOptions {
+    fn default() -> Self {
+        ReductionOptions {
+            fuel: 50_000,
+            reduce: ReduceConfig::default(),
+        }
+    }
+}
+
+/// Whether `p` still reproduces `finding` under the finding's compiler
+/// configuration: same [`FindingKind`], same bug id (for wrong code, an
+/// unattributed finding — `bug_id == None` — must stay unattributed).
+pub fn reproduces(finding: &Finding, p: &Program, fuel: u64) -> bool {
+    let cc = Compiler::new(finding.compiler, finding.opt);
+    let wrong_code_fuel = (finding.kind == FindingKind::WrongCode).then_some(fuel);
+    let obs = cc.observe(p, wrong_code_fuel);
+    match finding.kind {
+        FindingKind::Crash => obs.ice.as_ref().map(|ice| ice.bug_id) == finding.bug_id,
+        FindingKind::Performance => match finding.bug_id {
+            Some(bug) => obs.ice.is_none() && obs.slow_compile.contains(&bug),
+            None => obs.ice.is_none() && !obs.slow_compile.is_empty(),
+        },
+        FindingKind::WrongCode => {
+            obs.wrong_code
+                && match finding.bug_id {
+                    Some(bug) => obs.miscompiled_by.contains(&bug),
+                    None => obs.miscompiled_by.is_empty(),
+                }
+        }
+    }
+}
+
+/// Reduces one finding's reproducer; `None` when the reproducer does not
+/// reproduce under re-check (never the case for campaign-produced
+/// findings) or fails to parse.
+fn reduce_one(finding: &Finding, options: &ReductionOptions) -> Option<ReducedWitness> {
+    let mut oracle = |p: &Program| reproduces(finding, p, options.fuel);
+    let reduction = reduce(&finding.reproducer, &options.reduce, &mut oracle).ok()?;
+    Some(ReducedWitness {
+        source: reduction.witness,
+        fingerprint: reduction.fingerprint.to_string(),
+        original_bytes: reduction.original_bytes,
+        reduced_bytes: reduction.reduced_bytes,
+        oracle_calls: reduction.oracle_calls,
+    })
+}
+
+/// Runs the reduction stage over every finding of `report`, fanning jobs
+/// across `workers` threads of a work-stealing pool, then applies the
+/// fingerprint dedup pass. The resulting report is byte-identical for
+/// every worker count.
+pub fn reduce_findings(report: &mut CampaignReport, options: &ReductionOptions, workers: usize) {
+    let jobs = report.findings.len();
+    if jobs == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, jobs);
+    let slots: Mutex<Vec<Option<ReducedWitness>>> = Mutex::new(vec![None; jobs]);
+    if workers == 1 {
+        let mut slots = slots.lock().expect("poisoned");
+        for (i, f) in report.findings.iter().enumerate() {
+            slots[i] = reduce_one(f, options);
+        }
+        drop(slots);
+    } else {
+        let queue = WorkQueue::new((0..jobs).collect(), workers);
+        let findings = &report.findings;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queue = &queue;
+                let slots = &slots;
+                scope.spawn(move || {
+                    while let Some(i) = queue.pop(w) {
+                        // Reduction is a pure function of the finding, so
+                        // completion order cannot affect the report.
+                        let witness = reduce_one(&findings[i], options);
+                        slots.lock().expect("poisoned")[i] = witness;
+                    }
+                });
+            }
+        });
+    }
+    let slots = slots.into_inner().expect("poisoned");
+    attach_and_dedup(report, slots);
+}
+
+/// Attaches witnesses in finding order and marks fingerprint collisions:
+/// the first finding with a given `(family, kind, fingerprint)` key is
+/// the root; later ones get [`Finding::fingerprint_duplicate_of`].
+fn attach_and_dedup(report: &mut CampaignReport, witnesses: Vec<Option<ReducedWitness>>) {
+    let mut seen: HashMap<(String, FindingKind, String), String> = HashMap::new();
+    for (finding, witness) in report.findings.iter_mut().zip(witnesses) {
+        finding.reduced = witness;
+        finding.fingerprint_duplicate_of = None;
+        let Some(reduced) = &finding.reduced else {
+            continue;
+        };
+        let key = (
+            finding.compiler.family.to_string(),
+            finding.kind,
+            reduced.fingerprint.clone(),
+        );
+        match seen.get(&key) {
+            Some(first) if *first != finding.signature => {
+                finding.fingerprint_duplicate_of = Some(first.clone());
+            }
+            Some(_) => {}
+            None => {
+                seen.insert(key, finding.signature.clone());
+            }
+        }
+    }
+}
+
+impl CampaignReport {
+    /// Findings surviving the fingerprint dedup pass — the corrected
+    /// root-cause count the paper reaches by manual triage (Table 3/4's
+    /// "Duplicate" folding), derived here without ground-truth bug ids.
+    pub fn corrected_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.fingerprint_duplicate_of.is_none())
+    }
+
+    /// Number of findings the fingerprint pass folded into an earlier
+    /// root cause.
+    pub fn fingerprint_duplicates(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.fingerprint_duplicate_of.is_some())
+            .count()
+    }
+
+    /// Mean shrink ratio (raw reproducer bytes / witness bytes) over all
+    /// reduced findings; `None` until the reduction stage ran.
+    pub fn mean_shrink_ratio(&self) -> Option<f64> {
+        let ratios: Vec<f64> = self
+            .findings
+            .iter()
+            .filter_map(|f| f.reduced.as_ref())
+            .map(ReducedWitness::shrink_ratio)
+            .collect();
+        if ratios.is_empty() {
+            return None;
+        }
+        Some(ratios.iter().sum::<f64>() / ratios.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_campaign, CampaignConfig};
+    use spe_core::Algorithm;
+    use spe_corpus::seeds;
+    use spe_simcc::CompilerId;
+
+    fn campaign() -> (CampaignReport, CampaignConfig) {
+        let config = CampaignConfig {
+            compilers: vec![
+                Compiler::new(CompilerId::gcc(700), 0),
+                Compiler::new(CompilerId::gcc(700), 2),
+                Compiler::new(CompilerId::gcc(700), 3),
+                Compiler::new(CompilerId::clang(390), 3),
+            ],
+            budget: 200,
+            algorithm: Algorithm::Paper,
+            check_wrong_code: true,
+            fuel: 20_000,
+        };
+        (run_campaign(&seeds::all(), &config), config)
+    }
+
+    #[test]
+    fn every_finding_gains_a_reproducing_witness() {
+        let (mut report, config) = campaign();
+        assert!(!report.findings.is_empty());
+        reduce_findings(
+            &mut report,
+            &ReductionOptions {
+                fuel: config.fuel,
+                ..ReductionOptions::default()
+            },
+            4,
+        );
+        for f in &report.findings {
+            let reduced = f.reduced.as_ref().unwrap_or_else(|| {
+                panic!("finding {:?} has no witness", f.signature);
+            });
+            assert!(reduced.reduced_bytes <= reduced.original_bytes);
+            let p = spe_minic::parse(&reduced.source).expect("witness parses");
+            spe_minic::analyze(&p).expect("witness scope-checks");
+            assert!(
+                reproduces(f, &p, config.fuel),
+                "witness for {:?} no longer reproduces:\n{}",
+                f.signature,
+                reduced.source
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_pass_merges_cross_opt_duplicates() {
+        // gcc trunk at -O2 and -O3 exposes the same alias bug through the
+        // same variant, under two different wrong-code signatures; the
+        // fingerprint pass must fold them without looking at bug ids.
+        let (mut report, config) = campaign();
+        reduce_findings(
+            &mut report,
+            &ReductionOptions {
+                fuel: config.fuel,
+                ..ReductionOptions::default()
+            },
+            2,
+        );
+        let merged: Vec<&Finding> = report
+            .findings
+            .iter()
+            .filter(|f| f.fingerprint_duplicate_of.is_some())
+            .collect();
+        assert!(
+            !merged.is_empty(),
+            "expected at least one fingerprint merge"
+        );
+        for f in &merged {
+            let first_sig = f.fingerprint_duplicate_of.as_ref().expect("merged");
+            assert_ne!(
+                first_sig, &f.signature,
+                "fingerprint dedup merges distinct-signature findings"
+            );
+            // The merge agrees with the ground-truth registry.
+            let root = report
+                .findings
+                .iter()
+                .find(|g| &g.signature == first_sig)
+                .expect("root finding exists");
+            assert_eq!(root.bug_id, f.bug_id, "merge matches ground truth");
+        }
+        assert!(report.corrected_findings().count() < report.findings.len());
+    }
+
+    #[test]
+    fn reduction_is_identical_for_every_worker_count() {
+        let (report, config) = campaign();
+        let options = ReductionOptions {
+            fuel: config.fuel,
+            ..ReductionOptions::default()
+        };
+        let mut serial = report.clone();
+        reduce_findings(&mut serial, &options, 1);
+        for workers in [2usize, 4, 16] {
+            let mut parallel = report.clone();
+            reduce_findings(&mut parallel, &options, workers);
+            assert_eq!(parallel, serial, "{workers} workers diverged");
+        }
+    }
+
+    #[test]
+    fn witnesses_shrink_substantially() {
+        let (mut report, config) = campaign();
+        reduce_findings(
+            &mut report,
+            &ReductionOptions {
+                fuel: config.fuel,
+                ..ReductionOptions::default()
+            },
+            4,
+        );
+        let mean = report.mean_shrink_ratio().expect("reduced");
+        assert!(mean >= 1.5, "mean shrink on tiny seed files: {mean:.2}");
+    }
+}

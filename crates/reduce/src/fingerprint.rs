@@ -1,0 +1,80 @@
+//! Structural witness fingerprints.
+//!
+//! A [`Fingerprint`] is a 64-bit FNV-1a hash of the canonicalized
+//! ([`crate::canon`]) witness's printed source. Because canonicalization
+//! erases variable and label spelling while preserving structure and the
+//! usage partition, the fingerprint is an α-invariant of the program: two
+//! witnesses collide iff they are the same program up to renaming (modulo
+//! the negligible 64-bit hash collision probability). The campaign's
+//! second dedup pass keys on `(compiler family, finding kind,
+//! fingerprint)` — no ground-truth bug ids involved.
+
+use crate::canon::canonicalize;
+use spe_minic::ast::Program;
+use std::fmt;
+
+/// A 64-bit structural hash of a canonicalized witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprints a program, canonicalizing it first.
+pub fn fingerprint(p: &Program) -> Fingerprint {
+    of_canonical(&canonicalize(p))
+}
+
+/// Fingerprints an already-canonicalized program (no re-canonicalization).
+pub fn of_canonical(p: &Program) -> Fingerprint {
+    Fingerprint(fnv1a(spe_minic::print_program(p).as_bytes()))
+}
+
+/// Parses and fingerprints source text; `None` when it does not parse.
+pub fn fingerprint_source(src: &str) -> Option<Fingerprint> {
+    spe_minic::parse(src).ok().map(|p| fingerprint(&p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_renaming_is_erased() {
+        let a = fingerprint_source("int x, y; int main() { x = y - y; return x; }").unwrap();
+        let b = fingerprint_source("int p, q; int main() { p = q - q; return p; }").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structure_is_not_erased() {
+        let a = fingerprint_source("int x, y; int main() { x = y - y; return x; }").unwrap();
+        let b = fingerprint_source("int x, y; int main() { x = y + y; return x; }").unwrap();
+        let c = fingerprint_source("int x, y; int main() { x = x - x; return x; }").unwrap();
+        assert_ne!(a, b, "operator differs");
+        assert_ne!(a, c, "usage partition differs");
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let f = Fingerprint(0xbeef);
+        assert_eq!(f.to_string(), "000000000000beef");
+    }
+
+    #[test]
+    fn malformed_source_has_no_fingerprint() {
+        assert_eq!(fingerprint_source("int main( {"), None);
+    }
+}

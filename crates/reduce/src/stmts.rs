@@ -1,0 +1,283 @@
+//! Statement-level hierarchical reduction.
+//!
+//! Four sub-passes, coarse to fine, each keeping the program reproducing
+//! under the oracle at every step:
+//!
+//! 1. **Item ddmin** — whole top-level items (functions, globals, struct
+//!    definitions) are minimized with [`crate::ddmin`];
+//! 2. **Block ddmin** — every statement list (function bodies, `{}`
+//!    blocks), outermost first, is minimized the same way; statements
+//!    deleted at an outer level take their nested blocks with them, which
+//!    is what makes the hierarchy cheaper than flat line-based ddmin;
+//! 3. **Unwrapping** — control structures collapse into their bodies
+//!    (`if (c) S` → `S`, loops → body, `label: S` → `S`, `{ S… }`
+//!    spliced inline, `else` dropped);
+//! 4. **Declarator pruning** — multi-declarator declarations lose unused
+//!    declarators (`int a, b, c;` → `int b;`).
+
+use crate::ddmin::ddmin;
+use crate::{printed_len, Shrinker};
+use spe_minic::ast::{Item, Program, Stmt};
+
+/// Runs all statement-level passes once.
+pub(crate) fn reduce(p: &mut Program, sh: &mut Shrinker) {
+    reduce_items(p, sh);
+    reduce_lists(p, sh);
+    unwrap_statements(p, sh);
+    prune_declarators(p, sh);
+}
+
+fn with_items(p: &Program, items: &[Item]) -> Program {
+    Program {
+        items: items.to_vec(),
+        max_occ: p.max_occ,
+        max_expr: p.max_expr,
+    }
+}
+
+fn reduce_items(p: &mut Program, sh: &mut Shrinker) {
+    if p.items.len() < 2 {
+        return;
+    }
+    let kept = ddmin(p.items.clone(), &mut |subset| {
+        sh.accepts(&with_items(p, subset))
+    });
+    if kept.len() < p.items.len() {
+        p.items = kept;
+    }
+}
+
+/// Finds the `target`-th statement list of the program in pre-order
+/// (function bodies first, then nested `{}` blocks within each).
+fn find_list(p: &mut Program, target: usize) -> Option<&mut Vec<Stmt>> {
+    let mut next = 0usize;
+    for item in &mut p.items {
+        if let Item::Func(f) = item {
+            if let Some(found) = find_in_list(&mut f.body, &mut next, target) {
+                return Some(found);
+            }
+        }
+    }
+    None
+}
+
+fn find_in_list<'a>(
+    stmts: &'a mut Vec<Stmt>,
+    next: &mut usize,
+    target: usize,
+) -> Option<&'a mut Vec<Stmt>> {
+    let id = *next;
+    *next += 1;
+    if id == target {
+        return Some(stmts);
+    }
+    for s in stmts.iter_mut() {
+        if let Some(found) = find_in_stmt(s, next, target) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+fn find_in_stmt<'a>(
+    s: &'a mut Stmt,
+    next: &mut usize,
+    target: usize,
+) -> Option<&'a mut Vec<Stmt>> {
+    match s {
+        Stmt::Block(b) => find_in_list(b, next, target),
+        Stmt::If(_, t, e) => {
+            if let Some(found) = find_in_stmt(t, next, target) {
+                return Some(found);
+            }
+            match e {
+                Some(e) => find_in_stmt(e, next, target),
+                None => None,
+            }
+        }
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) | Stmt::For(_, _, _, b) => {
+            find_in_stmt(b, next, target)
+        }
+        Stmt::Label(_, inner) => find_in_stmt(inner, next, target),
+        _ => None,
+    }
+}
+
+fn count_lists(p: &mut Program) -> usize {
+    // One past the largest reachable id: probe by walking with an
+    // unreachable target and reading the counter.
+    let mut next = 0usize;
+    for item in &mut p.items {
+        if let Item::Func(f) = item {
+            let _ = find_in_list(&mut f.body, &mut next, usize::MAX);
+        }
+    }
+    next
+}
+
+fn reduce_lists(p: &mut Program, sh: &mut Shrinker) {
+    // Outermost lists have the smallest ids; editing list `i` only
+    // removes lists with larger ids, so one ascending sweep (with the
+    // count re-taken each step) visits every surviving list exactly once.
+    let mut id = 0usize;
+    while id < count_lists(p) && !sh.exhausted() {
+        let list = find_list(p, id).expect("id < count").clone();
+        if !list.is_empty() {
+            let kept = ddmin(list, &mut |subset| {
+                let mut cand = p.clone();
+                *find_list(&mut cand, id).expect("same shape") = subset.to_vec();
+                sh.accepts(&cand)
+            });
+            *find_list(p, id).expect("id < count") = kept;
+        }
+        id += 1;
+    }
+}
+
+/// Statement sequences a control structure can collapse into, most
+/// aggressive first.
+fn unwrap_candidates(s: &Stmt) -> Vec<Vec<Stmt>> {
+    fn body_of(s: &Stmt) -> Vec<Stmt> {
+        match s {
+            Stmt::Block(b) => b.clone(),
+            other => vec![other.clone()],
+        }
+    }
+    match s {
+        Stmt::If(c, t, Some(e)) => vec![
+            body_of(t),
+            body_of(e),
+            vec![Stmt::If(c.clone(), t.clone(), None)],
+        ],
+        Stmt::If(_, t, None) => vec![body_of(t)],
+        Stmt::While(_, b) | Stmt::DoWhile(b, _) | Stmt::For(_, _, _, b) => vec![body_of(b)],
+        Stmt::Label(_, inner) => vec![body_of(inner)],
+        Stmt::Block(b) => vec![b.clone()],
+        _ => Vec::new(),
+    }
+}
+
+fn unwrap_statements(p: &mut Program, sh: &mut Shrinker) {
+    let mut changed = true;
+    while changed && !sh.exhausted() {
+        changed = false;
+        let before = printed_len(p);
+        'outer: for id in 0..count_lists(p) {
+            let list = find_list(p, id).expect("id < count").clone();
+            for (i, s) in list.iter().enumerate() {
+                for replacement in unwrap_candidates(s) {
+                    let mut cand = p.clone();
+                    let l = find_list(&mut cand, id).expect("same shape");
+                    l.splice(i..=i, replacement);
+                    if printed_len(&cand) < before && sh.accepts(&cand) {
+                        *p = cand;
+                        changed = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn prune_declarators(p: &mut Program, sh: &mut Shrinker) {
+    // Globals: ddmin each multi-declarator `Item::Global` (non-empty —
+    // removing the whole item is `reduce_items`' job).
+    for idx in 0..p.items.len() {
+        let Item::Global(decls) = &p.items[idx] else {
+            continue;
+        };
+        if decls.len() < 2 {
+            continue;
+        }
+        let kept = ddmin(decls.clone(), &mut |subset| {
+            if subset.is_empty() {
+                return false;
+            }
+            let mut cand = p.clone();
+            cand.items[idx] = Item::Global(subset.to_vec());
+            sh.accepts(&cand)
+        });
+        if let Item::Global(decls) = &mut p.items[idx] {
+            *decls = kept;
+        }
+    }
+    // Locals: ddmin each multi-declarator `Stmt::Decl` of every list.
+    for id in 0..count_lists(p) {
+        let list = find_list(p, id).expect("id < count").clone();
+        for (i, s) in list.iter().enumerate() {
+            let Stmt::Decl(decls) = s else { continue };
+            if decls.len() < 2 {
+                continue;
+            }
+            let kept = ddmin(decls.clone(), &mut |subset| {
+                if subset.is_empty() {
+                    return false;
+                }
+                let mut cand = p.clone();
+                let l = find_list(&mut cand, id).expect("same shape");
+                l[i] = Stmt::Decl(subset.to_vec());
+                sh.accepts(&cand)
+            });
+            let l = find_list(p, id).expect("id < count");
+            l[i] = Stmt::Decl(kept);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spe_minic::{parse, print_program};
+
+    fn run(src: &str, needle: &'static str) -> String {
+        let mut p = parse(src).expect("parses");
+        let mut oracle = move |p: &Program| print_program(p).contains(needle);
+        let mut sh = Shrinker::new(&mut oracle, 10_000);
+        assert!(sh.accepts(&p), "oracle holds on the input");
+        reduce(&mut p, &mut sh);
+        print_program(&p)
+    }
+
+    #[test]
+    fn removes_irrelevant_statements() {
+        let out = run(
+            "int a, b; int main() { b = 1; b = b + 2; a = a; b = b - 1; return b; }",
+            "a = a;",
+        );
+        assert!(out.contains("a = a;"), "{out}");
+        assert!(!out.contains("b + 2"), "{out}");
+    }
+
+    #[test]
+    fn unwraps_control_structure() {
+        let out = run(
+            "int a, b; int main() { if (b) { while (b) { a = a; } } return 0; }",
+            "a = a;",
+        );
+        assert!(out.contains("a = a;"), "{out}");
+        assert!(!out.contains("while"), "{out}");
+        assert!(!out.contains("if"), "{out}");
+    }
+
+    #[test]
+    fn prunes_unused_declarators_and_items() {
+        let out = run(
+            "int a, b, c; int unused(void) { return 1; } int main() { a = a; return 0; }",
+            "a = a;",
+        );
+        assert!(!out.contains("unused"), "{out}");
+        assert!(!out.contains('b'), "{out}");
+        assert!(!out.contains('c'), "{out}");
+    }
+
+    #[test]
+    fn keeps_declarations_needed_by_the_witness() {
+        let out = run(
+            "int main() { int a = 1; int b = 2; b = a + b; a = a; return b; }",
+            "a = a;",
+        );
+        assert!(out.contains("int a"), "declaration survives: {out}");
+        parse(&out).expect("reduced output parses");
+    }
+}

@@ -162,6 +162,69 @@ impl Histogram {
     }
 }
 
+/// One compiler family's corrected report counts after the reduce/dedup
+/// stage: raw unique-signature reports, how many of them each dedup pass
+/// folded away, and the resulting root-cause estimate. The "corrected"
+/// column is the Table-3-style number the paper reaches by manually
+/// folding reports into root causes; the fingerprint pass derives it from
+/// reduced witnesses alone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrectedCounts {
+    /// Compiler family (e.g. `"gcc-sim"`).
+    pub family: String,
+    /// Unique-signature reports filed.
+    pub reports: usize,
+    /// Reports the ground-truth (registry bug-id) pass marked duplicate.
+    pub bug_id_duplicates: usize,
+    /// Reports the witness-fingerprint pass folded into an earlier root
+    /// cause.
+    pub fingerprint_duplicates: usize,
+    /// Distinct root causes after fingerprint dedup.
+    pub corrected: usize,
+    /// Mean raw-reproducer / reduced-witness size ratio.
+    pub mean_shrink: f64,
+}
+
+/// Renders the reduce/dedup stage's corrected counts as a table.
+///
+/// ```
+/// let rows = vec![spe_report::CorrectedCounts {
+///     family: "gcc-sim".into(),
+///     reports: 12,
+///     bug_id_duplicates: 4,
+///     fingerprint_duplicates: 4,
+///     corrected: 8,
+///     mean_shrink: 3.7,
+/// }];
+/// let t = spe_report::corrected_counts_table("Corrected counts", &rows);
+/// assert!(t.render().contains("gcc-sim"));
+/// assert!(t.render().contains("3.7x"));
+/// ```
+pub fn corrected_counts_table(title: impl Into<String>, rows: &[CorrectedCounts]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "Compiler",
+            "Reports",
+            "Dup (bug id)",
+            "Dup (fingerprint)",
+            "Corrected",
+            "Mean shrink",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.family.clone(),
+            r.reports.to_string(),
+            r.bug_id_duplicates.to_string(),
+            r.fingerprint_duplicates.to_string(),
+            r.corrected.to_string(),
+            format!("{:.1}x", r.mean_shrink),
+        ]);
+    }
+    t
+}
+
 /// The per-file variant-count buckets of Figure 8:
 /// `[1,10), [10,10^2), …, [10^9,10^10), >= 10^10`.
 pub fn figure8_buckets() -> Vec<String> {
@@ -225,6 +288,32 @@ mod tests {
     fn histogram_rejects_ragged_series() {
         let mut h = Histogram::new("Fig", vec!["a".into()]);
         h.series("s", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn corrected_counts_render() {
+        let rows = vec![
+            CorrectedCounts {
+                family: "gcc-sim".into(),
+                reports: 10,
+                bug_id_duplicates: 3,
+                fingerprint_duplicates: 3,
+                corrected: 7,
+                mean_shrink: 4.25,
+            },
+            CorrectedCounts {
+                family: "clang-sim".into(),
+                reports: 5,
+                bug_id_duplicates: 0,
+                fingerprint_duplicates: 1,
+                corrected: 4,
+                mean_shrink: 2.0,
+            },
+        ];
+        let s = corrected_counts_table("Corrected", &rows).render();
+        assert!(s.contains("Dup (fingerprint)"));
+        assert!(s.contains("4.2x"));
+        assert!(s.contains("clang-sim"));
     }
 
     #[test]

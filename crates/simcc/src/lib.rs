@@ -241,6 +241,93 @@ impl Compiler {
     }
 }
 
+/// The bug-relevant outcome of compiling (and, differentially, running)
+/// one program under one compiler configuration.
+///
+/// This is the oracle entry point shared by the campaign harness and the
+/// `spe-reduce` test-case reducer: "does this program still reproduce the
+/// same kind of defect with the same bug id?" is answered entirely from
+/// one `Observation` (see `spe_harness::reduction`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Observation {
+    /// The internal compiler error, when a seeded crash defect fired.
+    pub ice: Option<Ice>,
+    /// The program fell outside the lowerable subset (no verdict).
+    pub unsupported: bool,
+    /// Wrong-code defects whose rewrite applied during optimization.
+    pub miscompiled_by: Vec<&'static str>,
+    /// Performance defects that fired (compilation still succeeded).
+    pub slow_compile: Vec<&'static str>,
+    /// The reference interpreter hit undefined behaviour or ran out of
+    /// fuel, so the differential verdict is vacuous (§5.4's skip rule).
+    pub reference_ub: bool,
+    /// Differential mismatch against the reference on a UB-free input
+    /// (exit code, output, or a runtime trap of the compiled image).
+    pub wrong_code: bool,
+}
+
+/// The reference-interpreter limits the campaign harness and the
+/// reduction oracle share: `fuel` interpreter steps, call depth 64.
+pub fn reference_limits(fuel: u64) -> interp::Limits {
+    interp::Limits {
+        fuel,
+        max_depth: 64,
+    }
+}
+
+/// Differential verdict: whether running `compiled` (with the campaign's
+/// `4 * fuel` VM allowance) disagrees with the UB-free reference
+/// execution `expected` — by exit code, output, or a runtime trap.
+pub fn differs_from_reference(
+    compiled: &Compiled,
+    expected: &interp::Execution,
+    fuel: u64,
+) -> bool {
+    match compiled.execute(fuel * 4) {
+        Ok(run) => run.exit_code != expected.exit_code || run.output != expected.output,
+        Err(_) => true,
+    }
+}
+
+impl Compiler {
+    /// Observes what this configuration does on `p`.
+    ///
+    /// With `wrong_code_fuel: Some(fuel)` and a successful compile, the
+    /// UB-checking reference interpreter runs with `fuel` (and the
+    /// compiled image with `4 * fuel`, mirroring the campaign harness) to
+    /// fill the differential fields; with `None` only the compile-time
+    /// fields are observed — the cheap mode for crash and performance
+    /// oracles.
+    pub fn observe(&self, p: &Program, wrong_code_fuel: Option<u64>) -> Observation {
+        match self.compile(p) {
+            Err(CompileError::Ice(ice)) => Observation {
+                ice: Some(ice),
+                ..Observation::default()
+            },
+            Err(CompileError::Unsupported(_)) => Observation {
+                unsupported: true,
+                ..Observation::default()
+            },
+            Ok(compiled) => {
+                let mut obs = Observation {
+                    miscompiled_by: compiled.miscompiled_by.clone(),
+                    slow_compile: compiled.slow_compile_bugs.clone(),
+                    ..Observation::default()
+                };
+                if let Some(fuel) = wrong_code_fuel {
+                    match interp::run(p, reference_limits(fuel)) {
+                        Err(_) => obs.reference_ub = true,
+                        Ok(expected) => {
+                            obs.wrong_code = differs_from_reference(&compiled, &expected, fuel);
+                        }
+                    }
+                }
+                obs
+            }
+        }
+    }
+}
+
 /// Compiles only for coverage: runs the full pipeline with every seeded
 /// defect disabled and reports the coverage even if lowering fails.
 /// Used by the Figure 9 coverage experiments.
@@ -621,6 +708,36 @@ mod tests {
             Err(CompileError::Ice(ice)) => assert_eq!(ice.bug_id, "gcc-struct-fe"),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn observe_matches_compile_and_differential_run() {
+        // Crash observation (no fuel needed).
+        let fig3 =
+            parse("int d, e, b, c; int main(void) { e ? (d==0 ? b : c) : (d==0 ? b : c); return 0; }")
+                .expect("parses");
+        let obs = Compiler::new(CompilerId::gcc(700), 2).observe(&fig3, None);
+        assert_eq!(obs.ice.as_ref().map(|i| i.bug_id), Some("gcc-69801"));
+        assert!(!obs.wrong_code);
+
+        // Differential observation reproduces the Figure 2 miscompile.
+        let fig2 =
+            parse("int a = 0; int main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }")
+                .expect("parses");
+        let obs = Compiler::new(CompilerId::gcc(485), 2).observe(&fig2, Some(50_000));
+        assert!(obs.ice.is_none());
+        assert!(obs.wrong_code, "exit code mismatch observed");
+        assert!(obs.miscompiled_by.contains(&"gcc-69951"));
+
+        // Compile-only mode leaves the differential fields untouched.
+        let obs = Compiler::new(CompilerId::gcc(485), 2).observe(&fig2, None);
+        assert!(!obs.wrong_code && !obs.reference_ub);
+
+        // UB variants are marked vacuous, not wrong.
+        let ub = parse("int main() { int a = 0, b = 4; b = b / a; return b; }").expect("parses");
+        let obs = Compiler::new(CompilerId::gcc(440), 1).observe(&ub, Some(10_000));
+        assert!(obs.reference_ub);
+        assert!(!obs.wrong_code);
     }
 
     #[test]

@@ -44,7 +44,7 @@ use std::sync::OnceLock;
 pub mod render;
 pub mod while_skeleton;
 
-pub use render::{NameId, NameTable, RenderTemplate};
+pub use render::{NameId, NameTable, RenderTemplate, TemplatePart};
 pub use while_skeleton::WhileSkeleton;
 
 /// Errors from skeleton construction.

@@ -88,6 +88,24 @@ impl NameTable {
     }
 }
 
+/// One input piece for [`RenderTemplate::from_parts`] — the
+/// backend-agnostic template alphabet (mini-C templates come from
+/// [`spe_minic::print_template`], WHILE templates from
+/// [`spe_while::print_template`]; both lower to this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplatePart {
+    /// Literal text between holes (possibly empty).
+    Text(String),
+    /// A hole slot.
+    Slot {
+        /// Index of the hole (into the skeleton's source-ordered hole
+        /// list) rendered at this position.
+        hole: u32,
+        /// The original program's (interned) name for this site.
+        default: NameId,
+    },
+}
+
 /// One hole slot of a compiled template.
 #[derive(Debug, Clone, Copy)]
 struct Slot {
@@ -118,7 +136,34 @@ pub struct RenderTemplate {
 }
 
 impl RenderTemplate {
-    /// Compiles a template from printer pieces.
+    /// Compiles a template from backend-agnostic parts: static text
+    /// interleaved with hole slots, in source order. Adjacent text parts
+    /// merge; a slot with no preceding text gets an empty segment.
+    pub fn from_parts(parts: impl IntoIterator<Item = TemplatePart>) -> RenderTemplate {
+        let mut text = String::new();
+        let mut segments = Vec::new();
+        let mut slots = Vec::new();
+        let mut seg_start = 0u32;
+        for part in parts {
+            match part {
+                TemplatePart::Text(t) => text.push_str(&t),
+                TemplatePart::Slot { hole, default } => {
+                    let end = u32::try_from(text.len()).expect("template under 4 GiB");
+                    segments.push((seg_start, end));
+                    seg_start = end;
+                    slots.push(Slot { hole, default });
+                }
+            }
+        }
+        segments.push((seg_start, u32::try_from(text.len()).expect("under 4 GiB")));
+        RenderTemplate {
+            text,
+            segments,
+            slots,
+        }
+    }
+
+    /// Compiles a template from mini-C printer pieces.
     ///
     /// `hole_of_occ` maps a use-site occurrence to its hole index;
     /// occurrences without a hole (never produced by well-formed
@@ -129,33 +174,16 @@ impl RenderTemplate {
         hole_of_occ: &HashMap<OccId, u32>,
         mut intern: impl FnMut(&str) -> NameId,
     ) -> RenderTemplate {
-        let mut text = String::new();
-        let mut segments = Vec::new();
-        let mut slots = Vec::new();
-        let mut seg_start = 0u32;
-        for piece in pieces {
-            match piece {
-                TemplatePiece::Text(t) => text.push_str(&t),
-                TemplatePiece::Occ { occ, name } => match hole_of_occ.get(&occ) {
-                    Some(&hole) => {
-                        let end = u32::try_from(text.len()).expect("template under 4 GiB");
-                        segments.push((seg_start, end));
-                        seg_start = end;
-                        slots.push(Slot {
-                            hole,
-                            default: intern(&name),
-                        });
-                    }
-                    None => text.push_str(&name),
+        RenderTemplate::from_parts(pieces.into_iter().map(|piece| match piece {
+            TemplatePiece::Text(t) => TemplatePart::Text(t),
+            TemplatePiece::Occ { occ, name } => match hole_of_occ.get(&occ) {
+                Some(&hole) => TemplatePart::Slot {
+                    hole,
+                    default: intern(&name),
                 },
-            }
-        }
-        segments.push((seg_start, u32::try_from(text.len()).expect("under 4 GiB")));
-        RenderTemplate {
-            text,
-            segments,
-            slots,
-        }
+                None => TemplatePart::Text(name),
+            },
+        }))
     }
 
     /// Number of hole slots.

@@ -3,10 +3,22 @@
 //! WHILE has no lexical scoping, so a skeleton is just the unscoped
 //! instance `PARTITIONS(n, k)` — the setting of the paper's Figure 5 and
 //! Examples 1–5.
+//!
+//! Variant realization is template-compiled like the mini-C backend: the
+//! program is printed once into static segments plus one slot per
+//! occurrence ([`spe_while::print_template`]), every variable name is
+//! interned into a [`NameTable`], and realizing a partition is a
+//! segment/slot splice into a reusable buffer
+//! ([`WhileSkeleton::render_rgs_into`]) — no per-variant occurrence map,
+//! no AST rebuild. The legacy AST path
+//! ([`WhileSkeleton::realize_rgs`]) is kept as the differential oracle;
+//! both emit byte-identical source by construction.
 
+use crate::render::{NameId, NameTable, RenderTemplate, TemplatePart};
 use spe_combinatorics::{labels_to_rgs, rgs_to_blocks, FlatInstance};
-use spe_while::{WOcc, WParseError, WProgram};
+use spe_while::{WOcc, WParseError, WPiece, WProgram};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// A WHILE program viewed as a skeleton.
 #[derive(Debug, Clone)]
@@ -16,6 +28,11 @@ pub struct WhileSkeleton {
     names: Vec<String>,
     variables: Vec<String>,
     instance: FlatInstance,
+    /// Interned variable names; `var_ids[j]` is variable `j`'s id.
+    table: NameTable,
+    var_ids: Vec<NameId>,
+    /// Compiled render template, built lazily by one printer walk.
+    template: OnceLock<RenderTemplate>,
 }
 
 impl WhileSkeleton {
@@ -47,12 +64,17 @@ impl WhileSkeleton {
         });
         let variables = program.variables();
         let instance = FlatInstance::unscoped(occs.len(), variables.len());
+        let mut table = NameTable::new();
+        let var_ids = variables.iter().map(|v| table.intern(v)).collect();
         WhileSkeleton {
             program,
             occs,
             names,
             variables,
             instance,
+            table,
+            var_ids,
+            template: OnceLock::new(),
         }
     }
 
@@ -74,6 +96,37 @@ impl WhileSkeleton {
     /// The unscoped enumeration instance.
     pub fn instance(&self) -> &FlatInstance {
         &self.instance
+    }
+
+    /// The interned candidate-name table.
+    pub fn names(&self) -> &NameTable {
+        &self.table
+    }
+
+    /// The compiled render template, built on first use by one printer
+    /// walk ([`spe_while::print_template`]); every occurrence is a hole,
+    /// hole `i` being the `i`-th occurrence in source order.
+    pub fn template(&self) -> &RenderTemplate {
+        self.template.get_or_init(|| {
+            let hole_of_occ: HashMap<WOcc, u32> = self
+                .occs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| (o, i as u32))
+                .collect();
+            RenderTemplate::from_parts(spe_while::print_template(&self.program).into_iter().map(
+                |piece| match piece {
+                    WPiece::Text(t) => TemplatePart::Text(t),
+                    WPiece::Occ { occ, name } => TemplatePart::Slot {
+                        hole: hole_of_occ[&occ],
+                        default: self
+                            .table
+                            .lookup(&name)
+                            .expect("every occurrence names a known variable"),
+                    },
+                },
+            ))
+        })
     }
 
     /// The characteristic vector of the original program as an RGS — the
@@ -99,8 +152,53 @@ impl WhileSkeleton {
         labels_to_rgs(&labels)
     }
 
-    /// Realizes a partition (RGS over the holes) as a program: block `j`
-    /// is filled with the `j`-th variable name.
+    /// Fills `names` with the hole-indexed name choices realizing `rgs`
+    /// (block `j` takes the `j`-th variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the RGS length differs from the hole count or uses more
+    /// blocks than there are variables.
+    pub fn rgs_names(&self, rgs: &[usize], names: &mut Vec<NameId>) {
+        assert_eq!(rgs.len(), self.occs.len(), "RGS must cover all holes");
+        names.clear();
+        names.extend(rgs.iter().map(|&block| {
+            *self
+                .var_ids
+                .get(block)
+                .expect("no more blocks than variables")
+        }));
+    }
+
+    /// Renders the variant realizing `rgs` into `out` (cleared first) via
+    /// the compiled template — the hot path: with reused buffers this
+    /// performs no per-variant allocation beyond the name vector refill.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`WhileSkeleton::rgs_names`].
+    pub fn render_rgs_into(&self, rgs: &[usize], names: &mut Vec<NameId>, out: &mut String) {
+        self.rgs_names(rgs, names);
+        self.template().render_into(names, &self.table, out);
+    }
+
+    /// [`render_rgs_into`](Self::render_rgs_into) allocating fresh
+    /// buffers.
+    pub fn render_rgs(&self, rgs: &[usize]) -> String {
+        let mut names = Vec::with_capacity(rgs.len());
+        let mut out = String::new();
+        self.render_rgs_into(rgs, &mut names, &mut out);
+        out
+    }
+
+    /// Realizes a partition (RGS over the holes) as a program by
+    /// rebuilding the AST through an occurrence map: block `j` is filled
+    /// with the `j`-th variable name.
+    ///
+    /// The legacy realization path, kept as the differential oracle for
+    /// the template renderer ([`WhileSkeleton::render_rgs`] — byte
+    /// identical via `to_string`); enumeration consumers should render
+    /// through the template and re-parse when they need an AST.
     ///
     /// # Panics
     ///
@@ -155,12 +253,42 @@ mod tests {
     }
 
     #[test]
-    fn realize_all_variants_are_parseable_and_distinct() {
+    fn template_has_one_slot_per_hole() {
+        let w = fig5();
+        assert_eq!(w.template().num_slots(), w.num_holes());
+    }
+
+    #[test]
+    fn rendered_variants_match_the_legacy_oracle_byte_for_byte() {
+        // The template splice must agree with the AST-rebuild path on
+        // every variant of several skeletons.
+        let srcs = [
+            "a := 10; b := 1; while a do a := a - b",
+            "i := 0; s := 0; while i < 3 do begin s := s + i; i := i + 1 end",
+            "x := 3; if x < 5 and not (x = 2) then y := 1 else y := 2",
+        ];
+        for src in srcs {
+            let w = WhileSkeleton::from_source(src).expect("parses");
+            let k = w.variables().len();
+            let mut names = Vec::new();
+            let mut out = String::new();
+            for rgs in Rgs::new(w.num_holes(), k) {
+                w.render_rgs_into(&rgs, &mut names, &mut out);
+                assert_eq!(
+                    out,
+                    w.realize_rgs(&rgs).to_string(),
+                    "template drifted on {src} at {rgs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_all_variants_are_parseable_and_distinct() {
         let w = fig5();
         let mut seen = std::collections::HashSet::new();
         for rgs in Rgs::new(6, 2) {
-            let p = w.realize_rgs(&rgs);
-            let src = p.to_string();
+            let src = w.render_rgs(&rgs);
             assert!(seen.insert(src.clone()), "duplicate variant: {src}");
             spe_while::parse(&src).unwrap_or_else(|e| panic!("{e}: {src}"));
         }
@@ -168,10 +296,10 @@ mod tests {
     }
 
     #[test]
-    fn realized_variants_run() {
+    fn rendered_variants_run() {
         let w = fig5();
         for rgs in Rgs::new(6, 2) {
-            let p = w.realize_rgs(&rgs);
+            let p = spe_while::parse(&w.render_rgs(&rgs)).expect("variant parses");
             // Every variant either terminates or times out; no crash.
             let _ = interpret(&p, 10_000).expect("interprets");
         }
@@ -181,7 +309,7 @@ mod tests {
     fn identity_partition_reproduces_program_semantics() {
         let w = fig5();
         let original = interpret(w.program(), 10_000).expect("runs");
-        let realized = w.realize_rgs(&w.original_rgs());
+        let realized = spe_while::parse(&w.render_rgs(&w.original_rgs())).expect("parses");
         let again = interpret(&realized, 10_000).expect("runs");
         match (original, again) {
             (Outcome::Finished(a), Outcome::Finished(b)) => assert_eq!(a, b),
@@ -190,8 +318,30 @@ mod tests {
     }
 
     #[test]
+    fn render_buffers_are_reused_without_reallocating() {
+        let w = fig5();
+        let rgss: Vec<Vec<usize>> = Rgs::new(6, 2).collect();
+        let mut names = Vec::new();
+        let mut out = String::new();
+        w.render_rgs_into(&rgss[0], &mut names, &mut out); // warm-up
+        let name_cap = names.capacity();
+        let out_cap = out.capacity();
+        for rgs in &rgss {
+            w.render_rgs_into(rgs, &mut names, &mut out);
+        }
+        assert_eq!(names.capacity(), name_cap, "name buffer reallocated");
+        assert_eq!(out.capacity(), out_cap, "output buffer reallocated");
+    }
+
+    #[test]
     #[should_panic(expected = "RGS must cover all holes")]
     fn realize_rejects_short_rgs() {
         let _ = fig5().realize_rgs(&[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RGS must cover all holes")]
+    fn render_rejects_short_rgs() {
+        let _ = fig5().render_rgs(&[0, 1]);
     }
 }

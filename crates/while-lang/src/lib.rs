@@ -220,101 +220,170 @@ fn rename_stmt(s: &WStmt, map: &RenameMap) -> WStmt {
     }
 }
 
-fn fmt_aexpr(e: &AExpr, out: &mut String) {
-    match e {
-        AExpr::Var(n, _) => out.push_str(n),
-        AExpr::Num(v) => out.push_str(&v.to_string()),
-        AExpr::Op(c, a, b) => {
-            out.push('(');
-            fmt_aexpr(a, out);
-            out.push(' ');
-            out.push(*c);
-            out.push(' ');
-            fmt_aexpr(b, out);
-            out.push(')');
+/// One piece of a WHILE print template: literal source text or a variable
+/// occurrence site (the WHILE analogue of `spe-minic`'s `TemplatePiece`).
+///
+/// Concatenating the pieces — substituting each [`WPiece::Occ`] with its
+/// original name — reproduces [`WProgram`]'s `Display` output byte for
+/// byte: the template printer shares the same traversal and only diverts
+/// occurrence names into their own pieces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WPiece {
+    /// Literal text between occurrences (possibly empty).
+    Text(String),
+    /// A variable occurrence: downstream renderers splice the variant's
+    /// chosen name here.
+    Occ {
+        /// The occurrence id of the site.
+        occ: WOcc,
+        /// The name the original program uses here.
+        name: String,
+    },
+}
+
+/// Print sink: accumulates text, optionally diverting occurrence names
+/// into template pieces.
+struct Emit {
+    out: String,
+    pieces: Option<Vec<WPiece>>,
+}
+
+impl Emit {
+    fn text(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn ch(&mut self, c: char) {
+        self.out.push(c);
+    }
+
+    fn occ(&mut self, name: &str, occ: WOcc) {
+        match &mut self.pieces {
+            Some(pieces) => {
+                pieces.push(WPiece::Text(std::mem::take(&mut self.out)));
+                pieces.push(WPiece::Occ {
+                    occ,
+                    name: name.to_string(),
+                });
+            }
+            None => self.out.push_str(name),
         }
     }
 }
 
-fn fmt_bexpr(e: &BExpr, out: &mut String) {
+/// Prints a program into template pieces: static text with every variable
+/// occurrence split out as a [`WPiece::Occ`]. The compile-once half of
+/// fast WHILE variant rendering — realize any number of partitions by
+/// splicing names between the pieces, with no AST rebuild.
+pub fn print_template(p: &WProgram) -> Vec<WPiece> {
+    let mut emit = Emit {
+        out: String::new(),
+        pieces: Some(Vec::new()),
+    };
+    fmt_seq(&p.stmts, &mut emit, 0);
+    let mut pieces = emit.pieces.expect("template mode");
+    pieces.push(WPiece::Text(emit.out));
+    pieces
+}
+
+fn fmt_aexpr(e: &AExpr, out: &mut Emit) {
     match e {
-        BExpr::Const(v) => out.push_str(if *v { "true" } else { "false" }),
+        AExpr::Var(n, o) => out.occ(n, *o),
+        AExpr::Num(v) => out.text(&v.to_string()),
+        AExpr::Op(c, a, b) => {
+            out.ch('(');
+            fmt_aexpr(a, out);
+            out.ch(' ');
+            out.ch(*c);
+            out.ch(' ');
+            fmt_aexpr(b, out);
+            out.ch(')');
+        }
+    }
+}
+
+fn fmt_bexpr(e: &BExpr, out: &mut Emit) {
+    match e {
+        BExpr::Const(v) => out.text(if *v { "true" } else { "false" }),
         BExpr::Not(b) => {
-            out.push_str("not ");
+            out.text("not ");
             fmt_bexpr(b, out);
         }
         BExpr::Logic(and, a, b) => {
-            out.push('(');
+            out.ch('(');
             fmt_bexpr(a, out);
-            out.push_str(if *and { " and " } else { " or " });
+            out.text(if *and { " and " } else { " or " });
             fmt_bexpr(b, out);
-            out.push(')');
+            out.ch(')');
         }
         BExpr::Rel(op, a, b) => {
             fmt_aexpr(a, out);
-            out.push(' ');
-            out.push_str(op);
-            out.push(' ');
+            out.ch(' ');
+            out.text(op);
+            out.ch(' ');
             fmt_aexpr(b, out);
         }
         BExpr::Truthy(a) => fmt_aexpr(a, out),
     }
 }
 
-fn fmt_seq(stmts: &[WStmt], out: &mut String, indent: usize) {
+fn fmt_seq(stmts: &[WStmt], out: &mut Emit, indent: usize) {
     for (i, s) in stmts.iter().enumerate() {
         if i > 0 {
-            out.push_str(";\n");
+            out.text(";\n");
         }
         fmt_stmt(s, out, indent);
     }
 }
 
-fn fmt_stmt(s: &WStmt, out: &mut String, indent: usize) {
+fn fmt_stmt(s: &WStmt, out: &mut Emit, indent: usize) {
     let pad = "  ".repeat(indent);
     match s {
-        WStmt::Assign(n, _, e) => {
-            out.push_str(&pad);
-            out.push_str(n);
-            out.push_str(" := ");
+        WStmt::Assign(n, o, e) => {
+            out.text(&pad);
+            out.occ(n, *o);
+            out.text(" := ");
             fmt_aexpr(e, out);
         }
         WStmt::Skip => {
-            out.push_str(&pad);
-            out.push_str("skip");
+            out.text(&pad);
+            out.text("skip");
         }
         WStmt::While(b, body) => {
-            out.push_str(&pad);
-            out.push_str("while ");
+            out.text(&pad);
+            out.text("while ");
             fmt_bexpr(b, out);
-            out.push_str(" do begin\n");
+            out.text(" do begin\n");
             fmt_seq(body, out, indent + 1);
-            out.push('\n');
-            out.push_str(&pad);
-            out.push_str("end");
+            out.ch('\n');
+            out.text(&pad);
+            out.text("end");
         }
         WStmt::If(b, t, e) => {
-            out.push_str(&pad);
-            out.push_str("if ");
+            out.text(&pad);
+            out.text("if ");
             fmt_bexpr(b, out);
-            out.push_str(" then begin\n");
+            out.text(" then begin\n");
             fmt_seq(t, out, indent + 1);
-            out.push('\n');
-            out.push_str(&pad);
-            out.push_str("end else begin\n");
+            out.ch('\n');
+            out.text(&pad);
+            out.text("end else begin\n");
             fmt_seq(e, out, indent + 1);
-            out.push('\n');
-            out.push_str(&pad);
-            out.push_str("end");
+            out.ch('\n');
+            out.text(&pad);
+            out.text("end");
         }
     }
 }
 
 impl fmt::Display for WProgram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut out = String::new();
-        fmt_seq(&self.stmts, &mut out, 0);
-        f.write_str(&out)
+        let mut emit = Emit {
+            out: String::new(),
+            pieces: None,
+        };
+        fmt_seq(&self.stmts, &mut emit, 0);
+        f.write_str(&emit.out)
     }
 }
 
@@ -888,6 +957,36 @@ mod tests {
         map.insert(WOcc(2), "b".to_string());
         let r = p.realize(&map);
         assert_eq!(r.to_string(), "b := 1;\na := b");
+    }
+
+    #[test]
+    fn template_pieces_reassemble_to_display() {
+        let srcs = [
+            "a := 10; b := 1; while a do a := a - b",
+            "i := 0; s := 0; while i < 3 do begin s := s + i; i := i + 1 end",
+            "x := 3; if x < 5 and not (x = 2) then y := 1 else y := 2",
+        ];
+        for src in srcs {
+            let p = parse(src).expect("parses");
+            let rebuilt: String = print_template(&p)
+                .iter()
+                .map(|piece| match piece {
+                    WPiece::Text(t) => t.as_str(),
+                    WPiece::Occ { name, .. } => name.as_str(),
+                })
+                .collect();
+            assert_eq!(rebuilt, p.to_string(), "template drifted for {src}");
+        }
+    }
+
+    #[test]
+    fn template_has_one_piece_per_occurrence() {
+        let p = parse("a := 10; b := 1; while a do a := a - b").expect("parses");
+        let occs = print_template(&p)
+            .iter()
+            .filter(|piece| matches!(piece, WPiece::Occ { .. }))
+            .count();
+        assert_eq!(occs as u32, p.max_occ);
     }
 
     #[test]

@@ -22,10 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut crashes = std::collections::BTreeSet::new();
     let mut wrong = 0;
     let mut shown = 0;
+    let mut names = Vec::new();
+    let mut rendered = String::new();
     for rgs in Rgs::new(n, k) {
-        let variant = sk.realize_rgs(&rgs);
+        // Variants are realized through the compiled render template
+        // (segment/slot splice into reused buffers) and re-parsed for
+        // execution; `realize_rgs` survives as the differential oracle.
+        sk.render_rgs_into(&rgs, &mut names, &mut rendered);
+        let variant = spe::while_lang::parse(&rendered)?;
         if shown < 3 {
-            println!("--- variant {rgs:?} ---\n{variant}\n");
+            println!("--- variant {rgs:?} ---\n{rendered}\n");
             shown += 1;
         }
         let Ok(Outcome::Finished(reference)) = interpret(&variant, 20_000) else {

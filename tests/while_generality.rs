@@ -14,8 +14,18 @@ fn campaign(src: &str, profile: BugProfile, opt: u8) -> (BTreeSet<String>, usize
     let mut crashes = BTreeSet::new();
     let mut wrong = 0;
     let mut total = 0;
+    let mut names = Vec::new();
+    let mut rendered = String::new();
     for rgs in Rgs::new(n, k) {
-        let v = sk.realize_rgs(&rgs);
+        // Template-compiled rendering is the primary realization path;
+        // the legacy AST rebuild stays on as the differential oracle.
+        sk.render_rgs_into(&rgs, &mut names, &mut rendered);
+        assert_eq!(
+            rendered,
+            sk.realize_rgs(&rgs).to_string(),
+            "template drifted from the legacy realization on {src}"
+        );
+        let v = spe::while_lang::parse(&rendered).expect("rendered variant parses");
         total += 1;
         let Ok(Outcome::Finished(reference)) = interpret(&v, 20_000) else {
             continue;
