@@ -13,6 +13,16 @@
 //! `enumerate_compile` row lands at a fraction of the 1-shard time
 //! (≥1.5× speedup); on a single hardware thread the rows should stay
 //! within noise of each other, demonstrating that sharding costs nothing.
+//!
+//! A third group, `canonical_constrained`, pins the shard-native walk of
+//! a *constrained multi-group* canonical space (DESIGN §8): a
+//! two-function skeleton with three type groups, two of them constrained
+//! by declaration order and nested scopes. `materialized_serial` is the
+//! serial `Enumerator` (which deliberately materializes every per-group
+//! solution list); the `shardsN` rows run the `ShardedEnumerator` native
+//! path — per-group sizes from the prefix-count DP, mixed-radix boundary
+//! unranking, nothing materialized. Baseline recorded in
+//! `BENCH_canonical_constrained.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spe_core::{Algorithm, EnumeratorConfig, ShardedEnumerator, Skeleton};
@@ -89,5 +99,78 @@ fn bench_sharded_enumeration(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sharded_enumeration);
+/// A constrained, multi-group skeleton (three type groups; the int
+/// groups are constrained by declaration order and nested scopes). Its
+/// canonical product exceeds the paper's 10,000-variant budget, so every
+/// row streams exactly the 10K-variant truncated prefix — the same
+/// stream a campaign would consume.
+const CONSTRAINED_MULTI_GROUP: &str = r#"
+    int g, h;
+    int main() {
+        int a = 1, b = 0;
+        double x, y;
+        if (a) {
+            int c = 3, d = 5;
+            b = c + d;
+            g = a + c;
+            x = y;
+        }
+        h = a + b;
+        return 0;
+    }
+    void helper() {
+        int u, v;
+        u = v + g;
+        if (u) { int w; w = u + v + h; }
+    }
+"#;
+
+fn bench_constrained_canonical(c: &mut Criterion) {
+    let sk = Skeleton::from_source(CONSTRAINED_MULTI_GROUP).expect("builds");
+    let config = EnumeratorConfig {
+        algorithm: Algorithm::Canonical,
+        budget: 10_000,
+        ..Default::default()
+    };
+    // The workload only measures what it claims if the gate engages and
+    // the space is non-trivial.
+    let space = ShardedEnumerator::new(config, 2).prepare(&sk);
+    assert!(space.is_shard_native(), "constrained native gate must engage");
+    let total = space.total(config.budget);
+    assert!(total > 500, "space too small to measure: {total}");
+    let mut group = c.benchmark_group("canonical_constrained");
+    group.sample_size(10);
+    group.bench_function("materialized_serial", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            spe_core::Enumerator::new(config).enumerate(&sk, &mut |v| {
+                criterion::black_box(v.source(&sk));
+                n += 1;
+                ControlFlow::Continue(())
+            });
+            assert_eq!(n, total);
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        let enumerator = ShardedEnumerator::new(config, shards);
+        group.bench_with_input(
+            BenchmarkId::new("native", format!("shards{shards}")),
+            &enumerator,
+            |b, e| {
+                b.iter(|| {
+                    let n = AtomicU64::new(0);
+                    e.enumerate(&sk, &|v| {
+                        criterion::black_box(v.source(&sk));
+                        n.fetch_add(1, Ordering::Relaxed);
+                        ControlFlow::Continue(())
+                    });
+                    assert_eq!(n.into_inner(), total);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_enumeration, bench_constrained_canonical);
 criterion_main!(benches);

@@ -11,6 +11,13 @@
 //! This enumerator is duplicate-free and exhaustive with respect to
 //! partition equivalence; see `DESIGN.md` §2 for how it relates to the
 //! paper's algorithm (Example 6: canonical = 35, paper = 36).
+//!
+//! Counting, prefix weighing and unranking of the same sequence —
+//! without enumerating it — live in [`crate::ConstrainedRgs`]: a
+//! memoized DP over RGS prefixes whose pruning is exactly this module's
+//! SDR check (`DESIGN.md §8` states the pruning lemma and the DP).
+//! [`enumerate_canonical_shard`] plus that DP is what lets sharded
+//! canonical enumeration start mid-space in closed form.
 
 use crate::instance::GeneralInstance;
 use crate::shard::RgsShard;

@@ -20,6 +20,9 @@
 //! * [`shards`] / [`rgs_completions`] / [`Rgs::skip_to`] — exact
 //!   shard-boundary computation over the RGS space for parallel
 //!   enumeration and mid-space resumption;
+//! * [`ConstrainedRgs`] / [`constrained_count`] — the same counting and
+//!   unranking machinery for *constrained* instances, via a memoized DP
+//!   over RGS prefixes under SDR pruning (`DESIGN.md §8`);
 //! * [`brute`] — exponential oracles validating all of the above.
 //!
 //! # Quick start
@@ -38,8 +41,11 @@
 //! assert_eq!(orbit_count(&inst).to_u64(), Some(40));        // strict α
 //! ```
 
+#![warn(missing_docs)]
+
 mod canonical;
 mod combinations;
+mod counting;
 mod instance;
 mod orbit;
 mod paper;
@@ -55,6 +61,7 @@ pub use canonical::{
     enumerate_canonical, enumerate_canonical_shard, has_sdr, sdr_matching,
 };
 pub use combinations::{binomial, Combinations};
+pub use counting::{constrained_count, ConstrainedRgs};
 pub use instance::{FlatInstance, FlatScope, GeneralInstance, HoleId, PoolRef, ScopedSolution};
 pub use orbit::{enumerate_orbits, orbit_count, orbit_solutions};
 pub use paper::{enumerate_paper, paper_count, paper_solutions};

@@ -100,6 +100,21 @@ fn completions_row(remaining: usize, k: usize) -> Vec<BigUint> {
 ///     assert_eq!(&rgs_unrank(5, 3, i as u64), rgs);
 /// }
 /// ```
+///
+/// Turning an emission-index range into a boundary pair and resuming
+/// mid-space — the index-sharding idiom:
+///
+/// ```
+/// use spe_combinatorics::{rgs_unrank, Rgs};
+///
+/// let serial: Vec<Vec<usize>> = Rgs::new(6, 3).collect();
+/// let (lo, hi) = (10u64, 25u64);
+/// let mut it = Rgs::new(6, 3);
+/// it.skip_to(&rgs_unrank(6, 3, lo));            // land on variant #lo
+/// let upper = rgs_unrank(6, 3, hi);             // exclusive boundary
+/// let shard: Vec<Vec<usize>> = it.take_while(|s| *s < upper).collect();
+/// assert_eq!(shard, serial[10..25].to_vec());
+/// ```
 pub fn rgs_unrank(n: usize, k: usize, index: u64) -> Vec<usize> {
     let mut idx = BigUint::from(index);
     if n == 0 || k == 0 {

@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 use spe_bignum::BigUint;
 use spe_combinatorics::{
-    brute, canonical_count, labels_to_rgs, orbit_count, paper_count, paper_solutions,
-    partitions_at_most, rgs_block_count, rgs_completions, rgs_to_blocks, shards, FlatInstance,
-    FlatScope, Rgs,
+    brute, canonical_count, canonical_solutions, constrained_count, labels_to_rgs, orbit_count,
+    paper_count, paper_solutions, partitions_at_most, rgs_block_count, rgs_completions,
+    rgs_to_blocks, shards, ConstrainedRgs, FlatInstance, FlatScope, Rgs,
 };
 
 /// Strategy: a small flat instance (global holes/vars plus up to two
@@ -232,5 +232,76 @@ proptest! {
         prop_assert_eq!(&c, &p);
         prop_assert_eq!(&c, &o);
         prop_assert_eq!(c, partitions_at_most(n as u32, k as u32));
+    }
+
+    #[test]
+    fn constrained_total_matches_brute_force(inst in small_instance()) {
+        // The prefix-count DP agrees with both the pruned enumerator and
+        // the exponential oracle on every small constrained instance.
+        let general = inst.to_general();
+        let brute = brute::count_distinct_partitions(&general) as u64;
+        prop_assert_eq!(constrained_count(&general).to_u64(), Some(brute));
+        prop_assert_eq!(canonical_count(&general).to_u64(), Some(brute));
+    }
+
+    #[test]
+    fn constrained_prefix_counts_agree_with_enumeration(
+        inst in small_instance(),
+        depth in 1usize..4,
+    ) {
+        // Group the serial canonical sequence by its depth-d prefixes:
+        // each prefix must weigh exactly its number of completions, and
+        // unseen-but-valid prefixes must weigh zero.
+        let general = inst.to_general();
+        let serial = canonical_solutions(&general, usize::MAX).0;
+        let d = depth.min(general.num_holes());
+        let mut by_prefix: std::collections::BTreeMap<Vec<usize>, u64> =
+            std::collections::BTreeMap::new();
+        for rgs in &serial {
+            *by_prefix.entry(rgs[..d].to_vec()).or_insert(0) += 1;
+        }
+        let mut space = ConstrainedRgs::new(&general);
+        for (prefix, expect) in &by_prefix {
+            prop_assert_eq!(
+                space.prefix_completions(prefix).to_u64(),
+                Some(*expect),
+                "prefix {:?}",
+                prefix
+            );
+        }
+        for prefix in Rgs::new(d, general.num_vars.min(d)) {
+            if !by_prefix.contains_key(&prefix) {
+                prop_assert_eq!(
+                    space.prefix_completions(&prefix).to_u64(),
+                    Some(0),
+                    "dead prefix {:?}",
+                    prefix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constrained_unrank_inverts_the_canonical_sequence(inst in small_instance()) {
+        let general = inst.to_general();
+        let serial = canonical_solutions(&general, usize::MAX).0;
+        let mut space = ConstrainedRgs::new(&general);
+        prop_assert_eq!(space.total().to_u64(), Some(serial.len() as u64));
+        for (i, rgs) in serial.iter().enumerate() {
+            prop_assert_eq!(&space.unrank_u64(i as u64), rgs, "rank {}", i);
+        }
+    }
+
+    #[test]
+    fn constrained_skip_to_resumes_exactly(inst in small_instance(), at in 0usize..64) {
+        let general = inst.to_general();
+        let serial = canonical_solutions(&general, usize::MAX).0;
+        if !serial.is_empty() {
+            let at = at % serial.len();
+            let mut space = ConstrainedRgs::new(&general);
+            space.skip_to(&serial[at]);
+            let tail: Vec<Vec<usize>> = space.collect();
+            prop_assert_eq!(tail, serial[at..].to_vec());
+        }
     }
 }

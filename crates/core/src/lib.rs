@@ -30,10 +30,12 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 use spe_bignum::BigUint;
 use spe_combinatorics::{
-    canonical_solutions, enumerate_canonical_shard, orbit_solutions, paper_solutions,
-    partitions_at_most, rgs_unrank, Fillings, GeneralInstance, RgsShard,
+    assignment_for_rgs, canonical_solutions, enumerate_canonical_shard, orbit_solutions,
+    paper_solutions, rgs_unrank, ConstrainedRgs, Fillings, GeneralInstance, RgsShard,
 };
 pub use spe_skeleton::{
     Granularity, NameId, NameTable, RenderTemplate, Skeleton, SkeletonError, TypeGroup, Unit,
@@ -383,13 +385,20 @@ pub struct ShardedEnumerator {
 /// Two representations exist behind one interface:
 ///
 /// * **product** — every per-group solution list materialized (the
-///   general case);
-/// * **canonical shard-native** — for [`Algorithm::Canonical`] on a
-///   single-group skeleton whose holes all see the full variable set (the
-///   Bell-number blow-up regime), nothing is materialized at all: shards
-///   enumerate their own index range directly through
-///   [`spe_combinatorics::enumerate_canonical_shard`], so per-shard cost
-///   is proportional to the shard, not the whole space.
+///   general case: the paper, orbit and naive algorithms, and canonical
+///   groups beyond the 128-variable mask width);
+/// * **canonical shard-native** — for [`Algorithm::Canonical`] whenever
+///   every type group admits *cheap* exact prefix counts (`num_vars <=
+///   128` and the counting DP within the crate-internal state limit),
+///   *including constrained, multi-group skeletons*: no solution list is
+///   materialized at all. Each group's space is sized exactly — in
+///   closed form ([`spe_combinatorics::partitions_at_most`]) when the
+///   group is unconstrained, through the prefix-count DP
+///   ([`spe_combinatorics::ConstrainedRgs`], `DESIGN.md §8`) otherwise —
+///   and shards jump to their emission boundary by per-group mixed-radix
+///   unranking, then walk only their own subtrees through
+///   [`spe_combinatorics::enumerate_canonical_shard`]. Per-shard cost is
+///   proportional to the shard, not the whole space.
 #[derive(Debug, Clone)]
 pub struct VariantSpace {
     /// The identity filling, also the scratch-vector prototype.
@@ -404,18 +413,73 @@ enum SpaceKind {
     CanonicalNative(CanonicalNativeSpace),
 }
 
-/// Shard-native canonical space: the single unconstrained type group's
-/// instance plus everything needed to turn an RGS into a rename vector
-/// without consulting the skeleton.
+/// Shard-native canonical space: one entry per type group (in unit
+/// order, matching the materialized fragment order), each holding the
+/// exact size of the group's valid-partition space plus everything
+/// needed to turn an RGS into a rename vector without consulting the
+/// skeleton. The emission-index space is the mixed-radix product of the
+/// per-group (budget-capped) sizes, last group least significant —
+/// exactly the product the materialized path enumerates.
 #[derive(Debug, Clone)]
 struct CanonicalNativeSpace {
+    groups: Vec<NativeGroup>,
+}
+
+/// One type group of a [`CanonicalNativeSpace`].
+#[derive(Debug, Clone)]
+struct NativeGroup {
     general: GeneralInstance,
-    /// Exact space size: `partitions_at_most(n, k)`.
-    space: BigUint,
+    /// Exact (uncapped) size of the group's canonical space.
+    count: BigUint,
+    /// The solution-list length the materialized path would produce:
+    /// `min(count, budget at prepare time)`. This group's radix in the
+    /// mixed-radix emission-index space.
+    size: u64,
+    /// Every hole sees the whole variable set: group-local indices
+    /// unrank in closed form ([`rgs_unrank`]) and the SDR assignment is
+    /// the top-`m`-ascending rule; otherwise the prefix-count DP
+    /// ([`ConstrainedRgs`]) unranks and [`assignment_for_rgs`] assigns.
+    unconstrained: bool,
     /// Hole index (into [`Skeleton::holes`]) of each instance position.
     holes: Vec<u32>,
     /// Interned names of the group's variables, in variable order.
     var_names: Vec<NameId>,
+}
+
+impl NativeGroup {
+    /// Unranks a group-local solution index into its RGS, lazily
+    /// creating the DP unranker for constrained groups.
+    fn unrank<'a>(&'a self, dp: &mut Option<ConstrainedRgs<'a>>, index: u64) -> Vec<usize> {
+        if self.unconstrained {
+            rgs_unrank(self.general.num_holes(), self.general.num_vars, index)
+        } else {
+            dp.get_or_insert_with(|| ConstrainedRgs::new(&self.general))
+                .unrank_u64(index)
+        }
+    }
+
+    /// Overwrites this group's holes of a full rename vector with the
+    /// realization of `rgs`, replicating the materialized path's SDR
+    /// choice so outputs stay byte-identical: an unconstrained `m`-block
+    /// partition takes the top `m` variables in ascending block order
+    /// (what [`assignment_for_rgs`]'s augmenting-path matching settles
+    /// on when every mask is full), and constrained partitions run the
+    /// matching itself.
+    fn apply(&self, rgs: &[usize], names: &mut [NameId]) {
+        if self.unconstrained {
+            let blocks = rgs.iter().copied().max().map_or(0, |b| b + 1);
+            let k = self.general.num_vars;
+            for (pos, &b) in rgs.iter().enumerate() {
+                names[self.holes[pos] as usize] = self.var_names[k - blocks + b];
+            }
+        } else {
+            let assign = assignment_for_rgs(&self.general, rgs)
+                .expect("canonical solutions always admit an SDR");
+            for (pos, &b) in rgs.iter().enumerate() {
+                names[self.holes[pos] as usize] = self.var_names[assign[b]];
+            }
+        }
+    }
 }
 
 impl VariantSpace {
@@ -429,12 +493,18 @@ impl VariantSpace {
         match &self.kind {
             SpaceKind::Product(fragments) => emission_total(fragments, budget, truncated),
             SpaceKind::CanonicalNative(native) => {
-                if native.space > BigUint::from(budget as u64) {
+                // Same cap rule as `emission_total`: per-group sizes were
+                // already clamped at prepare time, the product is clamped
+                // here.
+                let product: u128 = native
+                    .groups
+                    .iter()
+                    .map(|g| g.size as u128)
+                    .fold(1u128, u128::saturating_mul);
+                if product > budget as u128 {
                     *truncated = true;
-                    budget as u64
-                } else {
-                    native.space.to_u64().expect("fits: space <= budget")
                 }
+                product.min(budget as u128) as u64
             }
         }
     }
@@ -442,6 +512,13 @@ impl VariantSpace {
     /// Whether any group's solution list was cut short by the budget.
     pub fn truncated(&self) -> bool {
         self.truncated
+    }
+
+    /// Whether the space uses the shard-native canonical representation —
+    /// i.e. no per-group solution list was (or will be) materialized and
+    /// shards index the space by exact counting alone.
+    pub fn is_shard_native(&self) -> bool {
+        matches!(self.kind, SpaceKind::CanonicalNative(_))
     }
 
     /// Streams the variants with emission indices in `range`, dispatching
@@ -467,44 +544,70 @@ impl VariantSpace {
     }
 }
 
-/// Builds the shard-native canonical representation when the space
-/// qualifies: exactly one type group, and every hole of it allows every
-/// group variable. In that regime the canonical sequence is exactly
-/// `Rgs(n, k)` in lexicographic order (every partition is valid), indices
-/// unrank in closed form, and the SDR used by the materialized path
-/// assigns the top `m` variables (ascending) to an `m`-block partition —
-/// replicated here so outputs stay byte-identical.
+/// Per-group ceiling on constrained-counting DP states before
+/// [`canonical_native_space`] gives up and the enumerator falls back to
+/// the materialized path. The DP's state count tracks the number of
+/// distinct block-mask multisets the constraint structure can produce:
+/// small for scope-shaped constraints (the corpus regime), but
+/// exponential for adversarial shapes like dozens of interleaved
+/// declaration-order prefixes — where budget-capped materialized
+/// enumeration stays cheap and must remain the path taken. A successful
+/// in-limit count also bounds every later boundary unrank (the count
+/// visits every reachable DP state), so the gate decision covers stream
+/// time too.
+const NATIVE_COUNT_STATE_LIMIT: usize = 1 << 14;
+
+/// Builds the shard-native canonical representation when every type
+/// group admits *cheap* exact prefix counts: group variables fit the
+/// 128-bit constraint masks and the counting DP stays within
+/// [`NATIVE_COUNT_STATE_LIMIT`] states. Unconstrained groups (every
+/// hole sees the whole variable set — the Bell-number regime) are sized
+/// in closed form; constrained groups are sized by the prefix-count DP
+/// ([`ConstrainedRgs`]). Returns `None` — materialize instead — when
+/// any group fails either condition. See `DESIGN.md §8` for the gate
+/// conditions and the DP itself.
 fn canonical_native_space(
     config: &EnumeratorConfig,
     sk: &Skeleton,
 ) -> Option<CanonicalNativeSpace> {
     let units = sk.units(config.granularity);
-    let mut groups = units.iter().flat_map(|u| u.groups.iter());
-    let g = groups.next()?;
-    if groups.next().is_some() {
-        return None;
+    let budget = BigUint::from(config.budget as u64);
+    let mut groups = Vec::new();
+    for u in &units {
+        for g in &u.groups {
+            let k = g.general.num_vars;
+            if k == 0 || k > 128 {
+                return None;
+            }
+            let count = g.canonical_space_size(NATIVE_COUNT_STATE_LIMIT)?;
+            let size = if count > budget {
+                config.budget as u64
+            } else {
+                count.to_u64().expect("count <= budget fits u64")
+            };
+            groups.push(NativeGroup {
+                general: g.general.clone(),
+                count,
+                size,
+                unconstrained: g.is_unconstrained(),
+                holes: g.holes.iter().map(|&h| h as u32).collect(),
+                var_names: g.vars.iter().map(|&v| sk.var_name(v)).collect(),
+            });
+        }
     }
-    let n = g.general.num_holes();
-    let k = g.general.num_vars;
-    if n == 0 || k == 0 || k > 128 {
-        return None;
-    }
-    if !g.general.allowed.iter().all(|a| a.len() == k) {
-        return None;
-    }
-    Some(CanonicalNativeSpace {
-        general: g.general.clone(),
-        space: partitions_at_most(n as u32, k as u32),
-        holes: g.holes.iter().map(|&h| h as u32).collect(),
-        var_names: g.vars.iter().map(|&v| sk.var_name(v)).collect(),
-    })
+    Some(CanonicalNativeSpace { groups })
 }
 
-/// Shard-native streaming of an emission-index range of an unconstrained
-/// canonical space: unrank the boundaries into RGS prefixes, then let
-/// [`enumerate_canonical_shard`] walk only the shard's subtrees. Cost is
-/// proportional to the shard size (plus O(n·k) unranking), never to the
-/// whole space.
+/// Shard-native streaming of an emission-index range of a canonical
+/// product space. The range start is decomposed mixed-radix into
+/// per-group solution indices; every group lands on its boundary
+/// solution by exact unranking (closed form or DP — never by walking
+/// earlier solutions), outer groups advance odometer-style, and the
+/// innermost group's runs are walked natively by
+/// [`enumerate_canonical_shard`] from the unranked lower boundary. Cost
+/// is proportional to the shard size (plus O(n·k) boundary unranking per
+/// group), never to the whole space, and no solution list is ever
+/// materialized.
 fn stream_canonical_range<F>(
     native: &CanonicalNativeSpace,
     base: &[NameId],
@@ -518,61 +621,124 @@ where
     if range.start >= range.end {
         return (0, false);
     }
-    let n = native.general.num_holes();
-    let k = native.general.num_vars;
-    let start = if range.start == 0 {
-        Vec::new()
-    } else {
-        rgs_unrank(n, k, range.start)
-    };
-    let end = if BigUint::from(range.end) < native.space {
-        Some(rgs_unrank(n, k, range.end))
-    } else {
-        None
-    };
-    let shard = RgsShard {
-        n,
-        k,
-        start,
-        end,
-        size: BigUint::from(range.end - range.start),
-    };
+    let groups = &native.groups;
     let mut variant = Variant {
         index: range.start,
         names: base.to_vec(),
     };
-    let mut emitted = 0u64;
-    let mut broke = false;
-    let _ = enumerate_canonical_shard(&native.general, &shard, &mut |rgs| {
+    let total_needed = range.end - range.start;
+    if groups.is_empty() {
+        // No holes: the space is exactly the identity variant.
         if let Some(stop) = stop {
             if stop.load(Ordering::Relaxed) {
-                broke = true;
-                return ControlFlow::Break(());
+                return (0, true);
             }
         }
-        // The materialized path's SDR gives an m-block partition the top
-        // m variables in ascending block order.
-        let blocks = rgs.iter().copied().max().map_or(0, |b| b + 1);
-        for (pos, &b) in rgs.iter().enumerate() {
-            variant.names[native.holes[pos] as usize] = native.var_names[k - blocks + b];
-        }
-        variant.index = range.start + emitted;
-        emitted += 1;
-        if visit(&variant).is_break() {
-            broke = true;
+        let broke = visit(&variant).is_break();
+        if broke {
             if let Some(stop) = stop {
                 stop.store(true, Ordering::Relaxed);
             }
-            return ControlFlow::Break(());
         }
-        ControlFlow::Continue(())
-    });
-    debug_assert!(
-        broke || emitted == range.end - range.start,
-        "shard emitted {emitted} of {:?}",
-        range
-    );
-    (emitted, broke)
+        return (1, broke);
+    }
+    // Mixed-radix decomposition of the start index into group-local
+    // solution indices (`skip_to`): last group least significant.
+    let mut digits = vec![0u64; groups.len()];
+    let mut rest = range.start;
+    for (g, group) in groups.iter().enumerate().rev() {
+        if group.size == 0 {
+            return (0, false);
+        }
+        digits[g] = rest % group.size;
+        rest /= group.size;
+    }
+    // Lazily-built DP unrankers, one per constrained group.
+    let mut dps: Vec<Option<ConstrainedRgs<'_>>> = groups.iter().map(|_| None).collect();
+    let last = groups.len() - 1;
+    // Land every outer group on its boundary solution; the innermost
+    // group's position is the lower bound of its first native walk.
+    for g in 0..last {
+        let rgs = groups[g].unrank(&mut dps[g], digits[g]);
+        groups[g].apply(&rgs, &mut variant.names);
+    }
+    let mut emitted = 0u64;
+    let mut broke = false;
+    loop {
+        // One run of the innermost group: from its current digit to the
+        // end of its (budget-capped) solution list, bounded by the range.
+        let inner = &groups[last];
+        let start_digit = digits[last];
+        let lower = if start_digit == 0 {
+            Vec::new()
+        } else {
+            inner.unrank(&mut dps[last], start_digit)
+        };
+        let run = RgsShard {
+            n: inner.general.num_holes(),
+            k: inner.general.num_vars,
+            start: lower,
+            end: None,
+            size: inner
+                .count
+                .checked_sub(&BigUint::from(start_digit))
+                .expect("digit indexes into the group's space"),
+        };
+        let mut inner_pos = start_digit;
+        let _ = enumerate_canonical_shard(&inner.general, &run, &mut |rgs| {
+            if inner_pos >= inner.size {
+                // The budget capped this group's list: skip the tail,
+                // exactly as the materialized path would.
+                return ControlFlow::Break(());
+            }
+            if let Some(stop) = stop {
+                if stop.load(Ordering::Relaxed) {
+                    broke = true;
+                    return ControlFlow::Break(());
+                }
+            }
+            inner.apply(rgs, &mut variant.names);
+            variant.index = range.start + emitted;
+            inner_pos += 1;
+            emitted += 1;
+            if visit(&variant).is_break() {
+                broke = true;
+                if let Some(stop) = stop {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                return ControlFlow::Break(());
+            }
+            if emitted == total_needed {
+                return ControlFlow::Break(());
+            }
+            ControlFlow::Continue(())
+        });
+        if broke || emitted == total_needed {
+            debug_assert!(
+                broke || emitted == range.end - range.start,
+                "shard emitted {emitted} of {range:?}"
+            );
+            return (emitted, broke);
+        }
+        // The innermost group wrapped: advance the outer odometer,
+        // re-unranking only the groups whose digit changed.
+        digits[last] = 0;
+        let mut g = last;
+        loop {
+            if g == 0 {
+                // The whole product is exhausted; only reachable when the
+                // caller's range overshoots the space.
+                return (emitted, broke);
+            }
+            g -= 1;
+            digits[g] = (digits[g] + 1) % groups[g].size;
+            let rgs = groups[g].unrank(&mut dps[g], digits[g]);
+            groups[g].apply(&rgs, &mut variant.names);
+            if digits[g] != 0 {
+                break;
+            }
+        }
+    }
 }
 
 impl ShardedEnumerator {
@@ -621,16 +787,21 @@ impl ShardedEnumerator {
     /// shard from any thread via
     /// [`ShardedEnumerator::enumerate_shard_prepared`].
     ///
-    /// For [`Algorithm::Canonical`] on qualifying skeletons (one type
-    /// group, every hole seeing the whole variable set) nothing is
-    /// materialized: shards later enumerate their own slice natively, so
-    /// even preparation is O(1) in the space size.
+    /// For [`Algorithm::Canonical`] on qualifying skeletons (every type
+    /// group within the 128-variable constraint-mask width and the
+    /// counting-DP state limit — constrained and multi-group skeletons
+    /// included) nothing is materialized: shards later enumerate their
+    /// own slice natively, so preparation costs only the per-group
+    /// exact counts, never the space size.
     pub fn prepare(&self, sk: &Skeleton) -> VariantSpace {
         if self.config.algorithm == Algorithm::Canonical {
             if let Some(native) = canonical_native_space(&self.config, sk) {
                 // Same meaning as the materialized path's flag: the
-                // budget cuts the (single-group) solution stream short.
-                let truncated = native.space > BigUint::from(self.config.budget as u64);
+                // budget cut some group's solution stream short.
+                let truncated = native
+                    .groups
+                    .iter()
+                    .any(|g| g.count > BigUint::from(g.size));
                 return VariantSpace {
                     base: base_names(sk),
                     kind: SpaceKind::CanonicalNative(native),
@@ -1262,6 +1433,161 @@ mod tests {
             assert_eq!(outcome.emitted, serial.len() as u64);
             assert_eq!(outcome.truncated, budget < 64, "budget {budget}");
         }
+    }
+
+    /// A constrained, multi-group skeleton: two functions, two types,
+    /// nested scopes and declaration-order effects — three type groups,
+    /// two of them constrained. This is the regime the materialized
+    /// fallback used to own.
+    fn constrained_multi_group() -> Skeleton {
+        Skeleton::from_source(
+            r#"
+            int g;
+            int main() {
+                int a = 1, b = 0;
+                double x, y;
+                if (a) {
+                    int c;
+                    c = a + b;
+                    x = y;
+                }
+                g = b;
+                return 0;
+            }
+            void helper() {
+                int u, v;
+                u = v + g;
+            }
+            "#,
+        )
+        .expect("builds")
+    }
+
+    #[test]
+    fn constrained_multi_group_takes_the_native_path() {
+        let sk = constrained_multi_group();
+        let config = EnumeratorConfig {
+            algorithm: Algorithm::Canonical,
+            budget: 1_000_000,
+            ..Default::default()
+        };
+        let space = ShardedEnumerator::new(config, 4).prepare(&sk);
+        assert!(
+            space.is_shard_native(),
+            "the constrained gate must engage — no solution list materialized"
+        );
+        // Sanity: the skeleton really is constrained and multi-group.
+        let units = sk.units(Granularity::Intra);
+        let groups: Vec<_> = units.iter().flat_map(|u| u.groups.iter()).collect();
+        assert!(groups.len() >= 3, "got {} groups", groups.len());
+        assert!(
+            groups.iter().any(|g| !g.is_unconstrained()),
+            "at least one group must be constrained"
+        );
+    }
+
+    #[test]
+    fn constrained_native_shards_are_byte_identical_to_serial() {
+        // The serial Enumerator is the materialized path, so this pins
+        // the native walk against both the materialized product and
+        // serial enumeration at once.
+        let sk = constrained_multi_group();
+        let config = EnumeratorConfig {
+            algorithm: Algorithm::Canonical,
+            budget: 1_000_000,
+            ..Default::default()
+        };
+        let serial = serial_sequence(&sk, config);
+        assert!(serial.len() > 100, "space large enough to matter");
+        for shards in [1usize, 2, 4, 8, 16] {
+            let sharded = ShardedEnumerator::new(config, shards);
+            let space = sharded.prepare(&sk);
+            assert!(space.is_shard_native());
+            let mut union: Vec<(u64, String)> = Vec::new();
+            for shard in 0..shards {
+                sharded.enumerate_shard_prepared(&space, shard, &mut |v| {
+                    union.push((v.index, v.source(&sk)));
+                    ControlFlow::Continue(())
+                });
+            }
+            assert_eq!(union, serial, "{shards} shards diverged");
+        }
+    }
+
+    #[test]
+    fn constrained_native_budget_truncation_matches_serial() {
+        // Budgets below a single group's count (per-group truncation),
+        // between group counts and product, and above the product must
+        // all clamp the native walk exactly where the materialized
+        // serial path clamps.
+        let sk = constrained_multi_group();
+        let full = Enumerator::new(EnumeratorConfig {
+            algorithm: Algorithm::Canonical,
+            budget: 1_000_000,
+            ..Default::default()
+        })
+        .collect_sources(&sk)
+        .len();
+        assert!(full > 100 && full < 10_000, "untruncated space, got {full}");
+        for budget in [1usize, 2, 5, 10, 33, 100, full - 1, full, full + 7] {
+            let config = EnumeratorConfig {
+                algorithm: Algorithm::Canonical,
+                budget,
+                ..Default::default()
+            };
+            let serial = Enumerator::new(config).collect_sources(&sk);
+            for shards in [2usize, 4, 8] {
+                let sharded = ShardedEnumerator::new(config, shards);
+                assert!(sharded.prepare(&sk).is_shard_native());
+                assert_eq!(
+                    sharded.collect_sources(&sk),
+                    serial,
+                    "budget {budget}, {shards} shards"
+                );
+                let outcome = sharded.enumerate(&sk, &|_| ControlFlow::Continue(()));
+                assert_eq!(outcome.emitted, serial.len() as u64, "budget {budget}");
+                assert_eq!(outcome.truncated, budget < full, "budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn pathological_constraint_structures_fall_back_to_materialization() {
+        // Dozens of interleaved declaration-order prefixes give every
+        // hole a distinct allowed set; the exact-counting DP's state
+        // space explodes while budget-capped materialized enumeration
+        // stays cheap. The gate must detect this and fall back — and
+        // the fallback must still be byte-identical across shards.
+        let mut body = String::new();
+        for i in 0..24 {
+            body.push_str(&format!("int v{i}; v{i} = {i};\n"));
+        }
+        for i in 1..24 {
+            body.push_str(&format!("v{i} = v{i} + v{};\n", i - 1));
+        }
+        let sk = Skeleton::from_source(&format!("void f() {{\n{body}}}\n")).expect("builds");
+        let config = EnumeratorConfig {
+            algorithm: Algorithm::Canonical,
+            budget: 200,
+            ..Default::default()
+        };
+        let start = std::time::Instant::now();
+        let sharded = ShardedEnumerator::new(config, 4);
+        let space = sharded.prepare(&sk);
+        assert!(
+            !space.is_shard_native(),
+            "the gate must refuse DP-hostile instances"
+        );
+        let serial = Enumerator::new(config).collect_sources(&sk);
+        assert_eq!(serial.len(), 200, "budget-capped");
+        assert_eq!(sharded.collect_sources(&sk), serial);
+        // Both prepare-and-refuse and the fallback must stay far from
+        // the uncapped DP's runtime (tens of seconds).
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(10),
+            "fallback took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -1,5 +1,8 @@
 //! Parallel campaign scaling: serial baseline vs 1/2/4/N-worker runs of
-//! the trunk campaign, with a byte-identical-report check at every width.
+//! the trunk campaign, with a byte-identical-report check at every width
+//! — first under the default (paper) algorithm, then under the canonical
+//! algorithm, where every in-mask-width skeleton takes the shard-native
+//! enumeration path (no per-group solution list materialized; DESIGN §8).
 fn main() {
     let workers = spe_experiments::campaign_workers();
     let mut counts = vec![1usize, 2, 4];
@@ -9,5 +12,10 @@ fn main() {
     println!(
         "{}",
         spe_experiments::parallel_speedup(spe_experiments::Scale::quick(), &counts).render()
+    );
+    println!(
+        "{}",
+        spe_experiments::canonical_native_speedup(spe_experiments::Scale::quick(), &counts)
+            .render()
     );
 }

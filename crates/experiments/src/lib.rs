@@ -242,25 +242,27 @@ pub fn campaign_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
-/// Measures the parallel campaign against the serial baseline at several
-/// worker counts, asserting byte-identical reports, and renders the
-/// timings. The workload is the Table 4 trunk configuration.
-pub fn parallel_speedup(scale: Scale, worker_counts: &[usize]) -> Table {
+/// Shared harness of the campaign-scaling experiments: runs the serial
+/// campaign over the seeds plus a generated corpus slice, re-runs it at
+/// each worker count, asserts every parallel report byte-identical to
+/// serial, and renders the timing table.
+fn campaign_scaling_table(
+    title: &str,
+    corpus_seed: u64,
+    scale: Scale,
+    config: &CampaignConfig,
+    worker_counts: &[usize],
+) -> Table {
     let mut files = seeds::all();
     files.extend(generate(&CorpusConfig {
         files: scale.corpus_files / 4,
-        seed: 45,
+        seed: corpus_seed,
     }));
-    let config = CampaignConfig {
-        budget: scale.budget,
-        check_wrong_code: true,
-        ..Default::default()
-    };
     let serial_start = std::time::Instant::now();
-    let serial = run_campaign(&files, &config);
+    let serial = run_campaign(&files, config);
     let serial_time = serial_start.elapsed();
     let mut t = Table::new(
-        "Parallel campaign scaling (byte-identical reports)",
+        title,
         &[
             "Workers",
             "Wall time",
@@ -278,12 +280,12 @@ pub fn parallel_speedup(scale: Scale, worker_counts: &[usize]) -> Table {
     ]);
     for &workers in worker_counts {
         let start = std::time::Instant::now();
-        let parallel = run_campaign_parallel(&files, &config, workers);
+        let parallel = run_campaign_parallel(&files, config, workers);
         let elapsed = start.elapsed();
         let speedup = serial_time.as_secs_f64() / elapsed.as_secs_f64().max(1e-9);
         assert_eq!(
             parallel, serial,
-            "parallel campaign with {workers} workers diverged from serial"
+            "{title}: {workers} workers diverged from serial"
         );
         t.row(&[
             workers.to_string(),
@@ -294,6 +296,47 @@ pub fn parallel_speedup(scale: Scale, worker_counts: &[usize]) -> Table {
         ]);
     }
     t
+}
+
+/// Measures the parallel campaign against the serial baseline at several
+/// worker counts, asserting byte-identical reports, and renders the
+/// timings. The workload is the Table 4 trunk configuration.
+pub fn parallel_speedup(scale: Scale, worker_counts: &[usize]) -> Table {
+    let config = CampaignConfig {
+        budget: scale.budget,
+        check_wrong_code: true,
+        ..Default::default()
+    };
+    campaign_scaling_table(
+        "Parallel campaign scaling (byte-identical reports)",
+        45,
+        scale,
+        &config,
+        worker_counts,
+    )
+}
+
+/// Campaign scaling under `Algorithm::Canonical`, where every corpus
+/// skeleton with cheap exact prefix counts takes the shard-native
+/// enumeration path — per-group spaces sized by the counting DP, no
+/// solution list materialized (`DESIGN.md §8`). Same contract as
+/// [`parallel_speedup`]: reports must stay byte-identical to the serial
+/// campaign at every worker count, here with the native walk feeding
+/// both sides.
+pub fn canonical_native_speedup(scale: Scale, worker_counts: &[usize]) -> Table {
+    let config = CampaignConfig {
+        budget: scale.budget,
+        algorithm: spe_core::Algorithm::Canonical,
+        check_wrong_code: true,
+        ..Default::default()
+    };
+    campaign_scaling_table(
+        "Canonical shard-native campaign scaling (byte-identical reports)",
+        46,
+        scale,
+        &config,
+        worker_counts,
+    )
 }
 
 /// Runs the post-campaign reduce/dedup stage over a report with the

@@ -9,7 +9,7 @@
 //!
 //! The predicate is handed whole candidate slices and is free to reject
 //! for any reason (oracle failure, scope errors, exhausted budget), which
-//! is how the reducer's [`crate::Shrinker`] plugs in.
+//! is how the reducer's crate-internal `Shrinker` plugs in.
 
 /// Minimizes `items` under `test`, assuming `test(&items)` already holds.
 /// Returns a subsequence (order preserved) on which `test` still holds.

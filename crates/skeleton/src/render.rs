@@ -2,7 +2,7 @@
 //!
 //! Realizing an enumerated variant used to re-walk the whole AST through
 //! the printer and allocate an owned `String` per occurrence. This module
-//! compiles the walk away: [`RenderTemplate::compile`] runs the printer
+//! compiles the walk away: building a [`RenderTemplate`] runs the printer
 //! **once per skeleton**, producing a flat sequence of static text
 //! segments interleaved with hole slots; every candidate variable name is
 //! interned into a [`NameTable`] of [`NameId`]s; and rendering one variant
