@@ -843,6 +843,44 @@ impl ShardedEnumerator {
         }
     }
 
+    /// Streams one shard of a prepared space **starting `skip` variants
+    /// past the shard's lower boundary** — the checkpoint-resume entry
+    /// point (`spe_harness::checkpoint`, `DESIGN.md` §9): a worker that
+    /// recorded an emission-index high-water mark re-seeds the shard here
+    /// via the same exact unranking `skip_to` machinery shard starts use
+    /// (mixed-radix odometer decomposition, closed-form or DP RGS
+    /// unranking), so nothing before the mark is re-enumerated.
+    ///
+    /// Variants and their global emission indices are byte-identical to
+    /// the tail of [`enumerate_shard_prepared`](Self::enumerate_shard_prepared)
+    /// after its first `skip` variants; `skip >=` the shard size streams
+    /// nothing. `emitted` counts only the variants streamed by this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= self.shards()`.
+    pub fn enumerate_shard_resumed_prepared<F>(
+        &self,
+        space: &VariantSpace,
+        shard: usize,
+        skip: u64,
+        visit: &mut F,
+    ) -> EnumerationOutcome
+    where
+        F: FnMut(&Variant) -> ControlFlow<()>,
+    {
+        assert!(shard < self.shards, "shard {shard} out of {}", self.shards);
+        let mut truncated = space.truncated;
+        let total = space.total_with(self.config.budget, &mut truncated);
+        let range = self.ranges_for_total(total).swap_remove(shard);
+        let start = range.start.saturating_add(skip).min(range.end);
+        let (emitted, broke) = space.stream_range(start..range.end, None, visit);
+        EnumerationOutcome {
+            emitted,
+            truncated: truncated || broke,
+        }
+    }
+
     fn ranges_for_total(&self, total: u64) -> Vec<Range<u64>> {
         let k = self.shards as u128;
         let cut = |i: u128| (total as u128 * i / k) as u64;
@@ -1588,6 +1626,52 @@ mod tests {
             "fallback took {:?}",
             start.elapsed()
         );
+    }
+
+    #[test]
+    fn resumed_shard_stream_is_the_tail_of_the_full_shard() {
+        // The checkpoint-resume entry point must reproduce exactly the
+        // suffix of each shard — same sources, same global emission
+        // indices — for every skip offset, on materialized and
+        // shard-native spaces alike.
+        for (sk, algorithm) in [
+            (fig1(), Algorithm::Paper),
+            (fig6(), Algorithm::Naive),
+            (constrained_multi_group(), Algorithm::Canonical),
+        ] {
+            let config = EnumeratorConfig {
+                algorithm,
+                budget: 1_000_000,
+                ..Default::default()
+            };
+            let sharded = ShardedEnumerator::new(config, 4);
+            let space = sharded.prepare(&sk);
+            for shard in 0..4 {
+                let mut full: Vec<(u64, String)> = Vec::new();
+                sharded.enumerate_shard_prepared(&space, shard, &mut |v| {
+                    full.push((v.index, v.source(&sk)));
+                    ControlFlow::Continue(())
+                });
+                for skip in [0usize, 1, full.len() / 2, full.len().saturating_sub(1), full.len(), full.len() + 5] {
+                    let mut resumed: Vec<(u64, String)> = Vec::new();
+                    let outcome = sharded.enumerate_shard_resumed_prepared(
+                        &space,
+                        shard,
+                        skip as u64,
+                        &mut |v| {
+                            resumed.push((v.index, v.source(&sk)));
+                            ControlFlow::Continue(())
+                        },
+                    );
+                    assert_eq!(
+                        resumed,
+                        full[skip.min(full.len())..],
+                        "{algorithm:?} shard {shard} skip {skip}"
+                    );
+                    assert_eq!(outcome.emitted, resumed.len() as u64);
+                }
+            }
+        }
     }
 
     #[test]

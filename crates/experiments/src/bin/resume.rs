@@ -1,0 +1,11 @@
+//! Kill/resume demonstration (`DESIGN.md` §9): runs the Table-3 workload
+//! with journal checkpoints, force-kills it mid-campaign, resumes from
+//! the journal, and asserts the merged report — campaign and reduction
+//! stage alike — byte-identical to an uninterrupted run.
+fn main() {
+    let workers = spe_experiments::campaign_workers();
+    println!(
+        "{}",
+        spe_experiments::resume_demo(spe_experiments::Scale::quick(), workers).render()
+    );
+}

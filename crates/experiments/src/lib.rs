@@ -339,6 +339,129 @@ pub fn canonical_native_speedup(scale: Scale, worker_counts: &[usize]) -> Table 
     )
 }
 
+/// Kill/resume demonstration on the Table-3 workload (`DESIGN.md` §9).
+///
+/// Runs the campaign with per-(file, shard) checkpoints into an
+/// `spe-persist` journal, force-kills it roughly mid-stream
+/// ([`spe_harness::CheckpointOptions::stop_after`] — the in-memory tail
+/// since the last fsync'd checkpoint is dropped, exactly like a
+/// `SIGKILL`), resumes from the journal, and **asserts** the resumed
+/// report and its checkpointed reduction byte-identical to the
+/// uninterrupted run. The two phases render as one table via the
+/// partial-report merge [`Table::extend`].
+pub fn resume_demo(scale: Scale, workers: usize) -> Table {
+    use spe_harness::checkpoint::{
+        reduce_findings_checkpointed, resume_campaign, run_campaign_checkpointed, CampaignStatus,
+        CheckpointOptions,
+    };
+    let mut files = seeds::all();
+    files.extend(generate(&CorpusConfig {
+        files: scale.corpus_files / 8,
+        seed: 43,
+    }));
+    let config = CampaignConfig {
+        compilers: vec![
+            Compiler::new(CompilerId::gcc(485), 0),
+            Compiler::new(CompilerId::gcc(485), 3),
+            Compiler::new(CompilerId::clang(360), 0),
+            Compiler::new(CompilerId::clang(360), 3),
+        ],
+        budget: scale.budget,
+        check_wrong_code: false,
+        ..Default::default()
+    };
+    let reference = run_campaign_parallel(&files, &config, workers);
+    let path = std::env::temp_dir().join(format!(
+        "spe-resume-demo-{}-{workers}.journal",
+        std::process::id()
+    ));
+    // Kill roughly mid-stream: half the per-variant work items.
+    let total_variants = reference.variants_tested / config.compilers.len().max(1) as u64;
+    let stop_after = (total_variants / 2).max(1);
+    let headers = [
+        "Phase",
+        "Wall time",
+        "Variants",
+        "Findings",
+        "Identical to uninterrupted",
+    ];
+    let mut t = Table::new(
+        format!("Checkpointed campaign: kill after ~{stop_after} variants, resume ({workers} workers)"),
+        &headers,
+    );
+    let start = std::time::Instant::now();
+    let first = run_campaign_checkpointed(
+        &files,
+        &config,
+        workers,
+        &path,
+        &CheckpointOptions {
+            every: 64,
+            stop_after: Some(stop_after),
+        },
+    )
+    .expect("journal is writable");
+    let first_time = start.elapsed();
+    assert!(
+        matches!(first, CampaignStatus::Interrupted),
+        "the kill budget must preempt the campaign"
+    );
+    let journal_records = spe_persist::JournalReader::read(&path)
+        .expect("journal readable")
+        .records
+        .len();
+    t.row(&[
+        "run until kill".to_string(),
+        format!("{first_time:.2?}"),
+        format!("~{stop_after} (journal: {journal_records} records)"),
+        "(in journal)".to_string(),
+        "-".to_string(),
+    ]);
+    let start = std::time::Instant::now();
+    let resumed = resume_campaign(&path, workers, &CheckpointOptions::default())
+        .expect("journal resumes")
+        .into_report()
+        .expect("uninterrupted resume completes");
+    let resume_time = start.elapsed();
+    assert_eq!(resumed, reference, "resumed report diverged");
+    // The resumed phase as a *partial report*, merged into one table.
+    let mut rest = Table::new("", &headers);
+    rest.row(&[
+        "resume to completion".to_string(),
+        format!("{resume_time:.2?}"),
+        resumed.variants_tested.to_string(),
+        resumed.findings.len().to_string(),
+        "yes (asserted)".to_string(),
+    ]);
+    t.extend(&rest);
+    // Reduction rides the same journal: kill-safe and byte-identical.
+    let mut in_memory = reference.clone();
+    reduce_campaign(&mut in_memory, &config);
+    let mut journaled = resumed;
+    reduce_findings_checkpointed(
+        &mut journaled,
+        &ReductionOptions {
+            fuel: config.fuel,
+            ..ReductionOptions::default()
+        },
+        workers,
+        &path,
+    )
+    .expect("checkpointed reduction");
+    assert_eq!(journaled, in_memory, "checkpointed reduction diverged");
+    let mut reduction = Table::new("", &headers);
+    reduction.row(&[
+        "checkpointed reduction".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        format!("{} corrected", journaled.corrected_findings().count()),
+        "yes (asserted)".to_string(),
+    ]);
+    t.extend(&reduction);
+    std::fs::remove_file(&path).ok();
+    t
+}
+
 /// Runs the post-campaign reduce/dedup stage over a report with the
 /// campaign's own fuel, fanning reduction jobs across the worker pool.
 pub fn reduce_campaign(report: &mut CampaignReport, config: &CampaignConfig) {

@@ -1,0 +1,823 @@
+//! Checkpointable, resumable campaigns over an `spe-persist` journal.
+//!
+//! [`crate::run_campaign_parallel`] is a one-shot in-memory run: a crash
+//! or preemption loses everything, which is untenable for the paper's
+//! multi-day enumeration budgets (Table 2). This module makes every
+//! campaign **checkpointable and resumable with byte-identical final
+//! reports** (`DESIGN.md` §9):
+//!
+//! * [`run_campaign_checkpointed`] runs the familiar work-stealing
+//!   campaign, but each worker periodically appends its (file, shard)
+//!   progress — the emission-index high-water mark plus the candidate
+//!   [`Finding`]s and counters accrued since the last checkpoint — as a
+//!   checksummed, fsync'd record frame in an [`spe_persist::Journal`];
+//! * [`resume_campaign`] rebuilds the per-job state by replaying the
+//!   journal's valid prefix (a torn tail frame from the crash is
+//!   detected and dropped), re-deals only unfinished jobs into the
+//!   work-stealing queue, and **re-seeds each shard at its recorded
+//!   high-water mark** through
+//!   [`spe_core::ShardedEnumerator::enumerate_shard_resumed_prepared`] —
+//!   the exact-unranking `skip_to` machinery, so no variant before the
+//!   mark is ever re-enumerated;
+//! * [`reduce_findings_checkpointed`] extends the same journal through
+//!   the post-campaign reduction stage, recording one witness per
+//!   finding so a resumed pipeline re-reduces only what was lost.
+//!
+//! **Resume determinism.** Enumeration order is globally fixed
+//! (file-major, emission-index order), every per-variant computation is
+//! a pure function of `(file, variant, config)`, and a `Progress` record
+//! commits a high-water mark *together with* exactly the candidates of
+//! the variants it covers — one atomic frame. Replayed prefix +
+//! recomputed suffix therefore reproduces precisely the uninterrupted
+//! per-job outputs, and [`crate::run_campaign`]'s deterministic
+//! (file, shard)-ordered merge does the rest: the final report is
+//! byte-identical to a never-interrupted run, at any worker count, no
+//! matter where (or how often) the campaign was killed. `DESIGN.md` §9
+//! spells the argument out.
+
+use crate::steal::WorkQueue;
+use crate::{
+    merge_outputs, prepare_file, process_variant, CampaignConfig, CampaignReport, Finding,
+    FindingKind, ShardOutput,
+};
+use crate::reduction::{attach_and_dedup, reduce_one, ReducedWitness, ReductionOptions};
+use spe_core::{Algorithm, Skeleton, VariantSpace};
+use spe_corpus::TestFile;
+use spe_persist::{DecodeError, Decoder, Encoder, Journal, JournalError, JournalReader};
+use spe_simcc::{bugs, Compiler, CompilerId};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::ControlFlow;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Errors of checkpointed runs and resumes.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The journal could not be created, appended, or read.
+    Journal(JournalError),
+    /// A record or the manifest failed to decode (foreign or damaged
+    /// journal whose frames are nonetheless checksum-valid).
+    Decode(DecodeError),
+    /// The journal is internally consistent but names entities this
+    /// build does not know (compiler family, bug id, algorithm tag) or
+    /// violates the campaign schema (job index out of range).
+    Foreign(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Journal(e) => write!(f, "{e}"),
+            CheckpointError::Decode(e) => write!(f, "journal record: {e}"),
+            CheckpointError::Foreign(what) => write!(f, "foreign journal: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<JournalError> for CheckpointError {
+    fn from(e: JournalError) -> CheckpointError {
+        CheckpointError::Journal(e)
+    }
+}
+
+impl From<DecodeError> for CheckpointError {
+    fn from(e: DecodeError) -> CheckpointError {
+        CheckpointError::Decode(e)
+    }
+}
+
+/// Options of a checkpointed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointOptions {
+    /// Variants a worker processes on one shard between `Progress`
+    /// records. Smaller = less recomputation after a crash, more fsync
+    /// traffic; `DESIGN.md` §9 discusses the cadence trade-off.
+    pub every: u64,
+    /// Simulated preemption for tests and demos: once this many variants
+    /// have been processed across all workers *in this run*, workers
+    /// abort without flushing their in-memory tail — exactly what a
+    /// `SIGKILL` between checkpoints leaves behind. `None` runs to
+    /// completion.
+    pub stop_after: Option<u64>,
+}
+
+impl Default for CheckpointOptions {
+    fn default() -> Self {
+        CheckpointOptions {
+            every: 512,
+            stop_after: None,
+        }
+    }
+}
+
+/// Outcome of a checkpointed run: either a finished report or an
+/// interruption whose state lives in the journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignStatus {
+    /// The campaign ran to completion; the report is byte-identical to
+    /// the equivalent uninterrupted [`crate::run_campaign_parallel`].
+    Complete(CampaignReport),
+    /// [`CheckpointOptions::stop_after`] fired mid-campaign. Resume from
+    /// the journal with [`resume_campaign`].
+    Interrupted,
+}
+
+impl CampaignStatus {
+    /// The completed report, `None` when interrupted.
+    pub fn into_report(self) -> Option<CampaignReport> {
+        match self {
+            CampaignStatus::Complete(r) => Some(r),
+            CampaignStatus::Interrupted => None,
+        }
+    }
+
+    /// Whether the run was cut short.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, CampaignStatus::Interrupted)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record schema (payloads inside `spe-persist` frames; DESIGN.md §9).
+// ---------------------------------------------------------------------
+
+const REC_PROGRESS: u8 = 1;
+const REC_JOB_DONE: u8 = 2;
+const REC_CAMPAIGN_DONE: u8 = 3;
+const REC_REDUCED: u8 = 4;
+const REC_REDUCTION_OPTIONS: u8 = 5;
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Paper,
+    Algorithm::Canonical,
+    Algorithm::Orbit,
+    Algorithm::Naive,
+];
+
+fn algorithm_tag(a: Algorithm) -> u8 {
+    ALGORITHMS.iter().position(|&x| x == a).expect("known") as u8
+}
+
+/// Re-interns a journal bug id against the seeded-defect registry (the
+/// in-memory type is `&'static str`).
+fn intern_bug_id(id: &str) -> Result<&'static str, CheckpointError> {
+    static IDS: OnceLock<Vec<&'static str>> = OnceLock::new();
+    IDS.get_or_init(|| bugs::registry().iter().map(|b| b.id).collect())
+        .iter()
+        .copied()
+        .find(|&known| known == id)
+        .ok_or_else(|| CheckpointError::Foreign(format!("unknown bug id {id:?}")))
+}
+
+fn intern_family(family: &str, version: u32) -> Result<CompilerId, CheckpointError> {
+    match family {
+        "gcc-sim" => Ok(CompilerId::gcc(version)),
+        "clang-sim" => Ok(CompilerId::clang(version)),
+        other => Err(CheckpointError::Foreign(format!(
+            "unknown compiler family {other:?}"
+        ))),
+    }
+}
+
+fn encode_finding(enc: &mut Encoder, f: &Finding) {
+    enc.u8(match f.kind {
+        FindingKind::Crash => 0,
+        FindingKind::WrongCode => 1,
+        FindingKind::Performance => 2,
+    });
+    enc.str(f.compiler.family).u32(f.compiler.version).u8(f.opt);
+    enc.str(&f.signature).opt_str(f.bug_id);
+    enc.str(&f.file).str(&f.reproducer);
+}
+
+fn decode_finding(dec: &mut Decoder) -> Result<Finding, CheckpointError> {
+    let kind = match dec.u8()? {
+        0 => FindingKind::Crash,
+        1 => FindingKind::WrongCode,
+        2 => FindingKind::Performance,
+        _ => return Err(CheckpointError::Foreign("finding kind tag".into())),
+    };
+    let family = dec.str()?;
+    let compiler = intern_family(&family, dec.u32()?)?;
+    let opt = dec.u8()?;
+    let signature = dec.str()?;
+    let bug_id = match dec.opt_str()? {
+        Some(id) => Some(intern_bug_id(&id)?),
+        None => None,
+    };
+    Ok(Finding {
+        kind,
+        compiler,
+        opt,
+        signature,
+        bug_id,
+        file: dec.str()?,
+        reproducer: dec.str()?,
+        // Candidates are checkpointed pre-merge: dedup links and reduced
+        // witnesses are recomputed deterministically downstream.
+        duplicate_of: None,
+        reduced: None,
+        fingerprint_duplicate_of: None,
+    })
+}
+
+/// Flat encoding of the full [`ReductionOptions`], pinned in the journal
+/// before the first `Reduced` record: witnesses depend on the oracle
+/// fuel and the reducer limits, so a resumed pass must run under the
+/// options that produced the replayed witnesses or the mixed result
+/// would match *no* uninterrupted run.
+fn encode_reduction_options(options: &ReductionOptions) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(REC_REDUCTION_OPTIONS)
+        .u64(options.fuel)
+        .usize(options.reduce.max_oracle_calls)
+        .usize(options.reduce.max_rounds)
+        .bool(options.reduce.canonicalize);
+    enc.finish()
+}
+
+fn encode_witness(enc: &mut Encoder, w: &ReducedWitness) {
+    enc.str(&w.source)
+        .str(&w.fingerprint)
+        .str(&w.trigger)
+        .usize(w.original_bytes)
+        .usize(w.reduced_bytes)
+        .usize(w.oracle_calls);
+}
+
+fn decode_witness(dec: &mut Decoder) -> Result<ReducedWitness, CheckpointError> {
+    Ok(ReducedWitness {
+        source: dec.str()?,
+        fingerprint: dec.str()?,
+        trigger: dec.str()?,
+        original_bytes: dec.usize()?,
+        reduced_bytes: dec.usize()?,
+        oracle_calls: dec.usize()?,
+    })
+}
+
+/// The journal header: everything needed to resume with **no inputs
+/// besides the journal path** — the full corpus, the campaign
+/// configuration, and the job decomposition.
+struct Manifest {
+    config: CampaignConfig,
+    shards_per_file: usize,
+    files: Vec<TestFile>,
+}
+
+impl Manifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        enc.usize(self.config.compilers.len());
+        for cc in &self.config.compilers {
+            enc.str(cc.id().family).u32(cc.id().version).u8(cc.opt());
+        }
+        enc.usize(self.config.budget)
+            .u8(algorithm_tag(self.config.algorithm))
+            .bool(self.config.check_wrong_code)
+            .u64(self.config.fuel)
+            .usize(self.shards_per_file)
+            .usize(self.files.len());
+        for f in &self.files {
+            enc.str(&f.name).str(&f.source);
+        }
+        enc.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Manifest, CheckpointError> {
+        let mut dec = Decoder::new(bytes);
+        let mut compilers = Vec::new();
+        for _ in 0..dec.usize()? {
+            let family = dec.str()?;
+            let id = intern_family(&family, dec.u32()?)?;
+            compilers.push(Compiler::new(id, dec.u8()?));
+        }
+        let budget = dec.usize()?;
+        let algorithm = *ALGORITHMS
+            .get(dec.u8()? as usize)
+            .ok_or_else(|| CheckpointError::Foreign("algorithm tag".into()))?;
+        let check_wrong_code = dec.bool()?;
+        let fuel = dec.u64()?;
+        let shards_per_file = dec.usize()?;
+        let mut files = Vec::new();
+        for _ in 0..dec.usize()? {
+            files.push(TestFile {
+                name: dec.str()?,
+                source: dec.str()?,
+            });
+        }
+        dec.expect_empty()?;
+        Ok(Manifest {
+            config: CampaignConfig {
+                compilers,
+                budget,
+                algorithm,
+                check_wrong_code,
+                fuel,
+            },
+            shards_per_file,
+            files,
+        })
+    }
+}
+
+/// Replayed per-(file, shard) state: the committed high-water mark and
+/// the accumulated partial output.
+#[derive(Debug, Default)]
+struct JobState {
+    /// Variants of this shard already covered by committed checkpoints.
+    emitted: u64,
+    /// Accumulated output of those variants, in emission order.
+    partial: ShardOutput,
+    /// Whether the job finished in an earlier run.
+    done: bool,
+}
+
+/// Everything replayed from a journal.
+struct Replayed {
+    manifest: Manifest,
+    jobs: Vec<JobState>,
+    campaign_done: bool,
+    /// Per-finding reduction results recorded so far, keyed by finding
+    /// index and carrying the finding's signature (verified on replay so
+    /// a witness can never attach to a different campaign's finding);
+    /// the witness is `None` when the finding proved irreducible.
+    reduced: HashMap<u32, (String, Option<ReducedWitness>)>,
+    /// The options the recorded reduction pass ran under (`None` until a
+    /// reduction stage wrote to this journal); a resumed pass must match.
+    reduction_options: Option<ReductionOptions>,
+}
+
+fn replay(header: &[u8], records: &[Vec<u8>]) -> Result<Replayed, CheckpointError> {
+    let manifest = Manifest::decode(header)?;
+    let job_count = manifest.files.len() * manifest.shards_per_file;
+    let mut jobs: Vec<JobState> = (0..job_count).map(|_| JobState::default()).collect();
+    let mut campaign_done = false;
+    let mut reduced = HashMap::new();
+    let mut reduction_options = None;
+    for rec in records {
+        let mut dec = Decoder::new(rec);
+        match dec.u8()? {
+            REC_PROGRESS => {
+                let job = dec.u32()? as usize;
+                let state = jobs.get_mut(job).ok_or_else(|| {
+                    CheckpointError::Foreign(format!("job {job} out of {job_count}"))
+                })?;
+                state.emitted = dec.u64()?;
+                let mut delta = ShardOutput {
+                    file_processed: dec.bool()?,
+                    variants_tested: dec.u64()?,
+                    variants_ub_skipped: dec.u64()?,
+                    ..ShardOutput::default()
+                };
+                for _ in 0..dec.usize()? {
+                    delta.candidates.push(decode_finding(&mut dec)?);
+                }
+                dec.expect_empty()?;
+                state.partial.absorb(delta);
+            }
+            REC_JOB_DONE => {
+                let job = dec.u32()? as usize;
+                jobs.get_mut(job)
+                    .ok_or_else(|| {
+                        CheckpointError::Foreign(format!("job {job} out of {job_count}"))
+                    })?
+                    .done = true;
+                dec.expect_empty()?;
+            }
+            REC_CAMPAIGN_DONE => {
+                campaign_done = true;
+                dec.expect_empty()?;
+            }
+            REC_REDUCED => {
+                let finding = dec.u32()?;
+                let signature = dec.str()?;
+                let witness = if dec.bool()? {
+                    Some(decode_witness(&mut dec)?)
+                } else {
+                    None
+                };
+                dec.expect_empty()?;
+                reduced.insert(finding, (signature, witness));
+            }
+            REC_REDUCTION_OPTIONS => {
+                let options = ReductionOptions {
+                    fuel: dec.u64()?,
+                    reduce: spe_reduce::ReduceConfig {
+                        max_oracle_calls: dec.usize()?,
+                        max_rounds: dec.usize()?,
+                        canonicalize: dec.bool()?,
+                    },
+                };
+                dec.expect_empty()?;
+                reduction_options = Some(options);
+            }
+            _ => return Err(CheckpointError::Foreign("record tag".into())),
+        }
+    }
+    Ok(Replayed {
+        manifest,
+        jobs,
+        campaign_done,
+        reduced,
+        reduction_options,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The checkpointed campaign driver.
+// ---------------------------------------------------------------------
+
+/// Runs a campaign writing per-(file, shard) checkpoints into a fresh
+/// journal at `path` (any existing file is replaced).
+///
+/// The work decomposition is `files × workers` jobs, exactly as
+/// [`crate::run_campaign_parallel`]; the completed report is
+/// byte-identical to it (and to the serial [`crate::run_campaign`]) for
+/// every worker count. The journal's manifest records the corpus,
+/// configuration and decomposition, so [`resume_campaign`] needs only
+/// the path.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Journal`] when the journal cannot be
+/// written (the campaign is aborted at the first failed append — no
+/// checkpoint is ever half-committed).
+pub fn run_campaign_checkpointed(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: impl AsRef<Path>,
+    options: &CheckpointOptions,
+) -> Result<CampaignStatus, CheckpointError> {
+    let workers = workers.max(1);
+    let manifest = Manifest {
+        config: config.clone(),
+        shards_per_file: workers,
+        files: files.to_vec(),
+    };
+    let journal = Journal::create(path, &manifest.encode())?;
+    let jobs = (0..manifest.files.len() * manifest.shards_per_file)
+        .map(|_| JobState::default())
+        .collect();
+    drive(&manifest, jobs, journal, workers, options)
+}
+
+/// Resumes the campaign whose journal lives at `path`.
+///
+/// The journal's valid prefix is replayed (a torn tail frame from the
+/// crash is truncated), finished jobs keep their recorded outputs,
+/// and unfinished jobs are re-dealt into the work-stealing queue with
+/// their shards re-seeded at the committed emission-index high-water
+/// marks via exact unranking — work before a mark is never re-enumerated,
+/// work after it is recomputed (identically, by determinism of the
+/// enumeration). `workers` only sizes the thread pool; the job
+/// decomposition is fixed by the manifest, and the completed report is
+/// byte-identical to an uninterrupted run regardless of either. A resumed
+/// run may itself be interrupted ([`CheckpointOptions::stop_after`]) and
+/// resumed again, any number of times.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Journal`] when the file is not a
+/// resumable journal, [`CheckpointError::Decode`] /
+/// [`CheckpointError::Foreign`] when its records do not decode against
+/// this build's schema and registries.
+pub fn resume_campaign(
+    path: impl AsRef<Path>,
+    workers: usize,
+    options: &CheckpointOptions,
+) -> Result<CampaignStatus, CheckpointError> {
+    let path = path.as_ref();
+    let contents = JournalReader::read(path)?;
+    let replayed = replay(&contents.header, &contents.records)?;
+    if replayed.campaign_done {
+        // Nothing to recompute: fold the recorded outputs directly.
+        let outputs = replayed.jobs.into_iter().map(|j| j.partial).collect();
+        return Ok(CampaignStatus::Complete(merge_outputs(outputs)));
+    }
+    // `open_append_with` reuses the scan above instead of re-reading.
+    let journal = Journal::open_append_with(path, &contents)?;
+    drive(
+        &replayed.manifest,
+        replayed.jobs,
+        journal,
+        workers.max(1),
+        options,
+    )
+}
+
+/// Shared driver of fresh and resumed checkpointed campaigns: deals the
+/// unfinished jobs into the work-stealing queue, streams each from its
+/// high-water mark with periodic checkpoint appends, and merges recorded
+/// and fresh outputs in deterministic job order.
+fn drive(
+    manifest: &Manifest,
+    jobs: Vec<JobState>,
+    journal: Journal,
+    workers: usize,
+    options: &CheckpointOptions,
+) -> Result<CampaignStatus, CheckpointError> {
+    let files = &manifest.files;
+    let config = &manifest.config;
+    let shards_per_file = manifest.shards_per_file;
+    let every = options.every.max(1);
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].done).collect();
+    let queue = WorkQueue::new(pending, workers);
+    let journal = Mutex::new(journal);
+    let failure: Mutex<Option<CheckpointError>> = Mutex::new(None);
+    let stop = AtomicBool::new(false);
+    let processed = AtomicU64::new(0);
+    // Continuations (outputs of this run) per job; folded with the
+    // replayed partials afterwards.
+    let continuations: Mutex<Vec<Option<ShardOutput>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let prepared: Vec<OnceLock<Option<(Skeleton, VariantSpace)>>> =
+        (0..files.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queue = &queue;
+            let journal = &journal;
+            let failure = &failure;
+            let stop = &stop;
+            let processed = &processed;
+            let continuations = &continuations;
+            let prepared = &prepared;
+            let jobs = &jobs;
+            scope.spawn(move || {
+                let mut buf = String::new();
+                while let Some(i) = queue.pop(w) {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let (file_idx, shard) = (i / shards_per_file, i % shards_per_file);
+                    let file = &files[file_idx];
+                    let skip = jobs[i].emitted;
+                    let enumerator = crate::campaign_enumerator(config, shards_per_file);
+                    let space = prepared[file_idx]
+                        .get_or_init(|| prepare_file(file, shards_per_file, config));
+                    // Output since the last committed checkpoint (the
+                    // journal delta) and since the start of this run
+                    // (the in-memory continuation).
+                    let mut delta = ShardOutput {
+                        file_processed: shard == 0 && space.is_some() && skip == 0,
+                        ..ShardOutput::default()
+                    };
+                    let mut cont = ShardOutput::default();
+                    let mut emitted = skip;
+                    let mut last_commit = skip;
+                    let mut killed = false;
+                    let mut io_failed = false;
+                    if let Some((sk, space)) = space {
+                        enumerator.enumerate_shard_resumed_prepared(space, shard, skip, &mut |v| {
+                            if stop.load(Ordering::Relaxed) {
+                                killed = true;
+                                return ControlFlow::Break(());
+                            }
+                            v.render_into(sk, &mut buf);
+                            process_variant(file, &buf, config, &mut delta);
+                            emitted += 1;
+                            if let Some(limit) = options.stop_after {
+                                if processed.fetch_add(1, Ordering::Relaxed) + 1 >= limit {
+                                    // Simulated kill: drop the
+                                    // uncommitted delta on the floor.
+                                    stop.store(true, Ordering::Relaxed);
+                                    killed = true;
+                                    return ControlFlow::Break(());
+                                }
+                            }
+                            if emitted - last_commit == every {
+                                match commit(journal, i, emitted, &mut delta, &mut cont) {
+                                    Ok(()) => last_commit = emitted,
+                                    Err(e) => {
+                                        fail(failure, stop, e);
+                                        io_failed = true;
+                                        return ControlFlow::Break(());
+                                    }
+                                }
+                            }
+                            ControlFlow::Continue(())
+                        });
+                    }
+                    if killed || io_failed {
+                        return;
+                    }
+                    // Commit the tail delta (skipped when nothing accrued
+                    // since the last checkpoint — an empty `Progress`
+                    // replays as a no-op, so eliding it saves an fsync
+                    // without changing resume semantics) and the job's
+                    // completion.
+                    let dirty = emitted != last_commit
+                        || delta.file_processed
+                        || delta.variants_tested != 0
+                        || !delta.candidates.is_empty();
+                    let mut enc = Encoder::new();
+                    enc.u8(REC_JOB_DONE).u32(i as u32);
+                    let finish = if dirty {
+                        commit(journal, i, emitted, &mut delta, &mut cont)
+                    } else {
+                        Ok(())
+                    }
+                    .and_then(|()| append(journal, enc.finish()));
+                    if let Err(e) = finish {
+                        fail(failure, stop, e);
+                        return;
+                    }
+                    continuations.lock().expect("poisoned")[i] = Some(cont);
+                }
+            });
+        }
+    });
+    if let Some(e) = failure.into_inner().expect("poisoned") {
+        return Err(e);
+    }
+    if stop.load(Ordering::Relaxed) {
+        return Ok(CampaignStatus::Interrupted);
+    }
+    let mut journal = journal.into_inner().expect("poisoned");
+    let mut enc = Encoder::new();
+    enc.u8(REC_CAMPAIGN_DONE);
+    journal.append(&enc.finish())?;
+    let continuations = continuations.into_inner().expect("poisoned");
+    let outputs = jobs
+        .into_iter()
+        .zip(continuations)
+        .map(|(job, cont)| fold_outputs(job.partial, cont))
+        .collect();
+    Ok(CampaignStatus::Complete(merge_outputs(outputs)))
+}
+
+/// Appends a `Progress` frame committing `[last mark, emitted)` — the
+/// high-water mark plus exactly the candidates and counters of the
+/// variants it covers, in one atomic frame — then drains the delta into
+/// the run's continuation output.
+fn commit(
+    journal: &Mutex<Journal>,
+    job: usize,
+    emitted: u64,
+    delta: &mut ShardOutput,
+    cont: &mut ShardOutput,
+) -> Result<(), CheckpointError> {
+    let mut enc = Encoder::new();
+    enc.u8(REC_PROGRESS)
+        .u32(job as u32)
+        .u64(emitted)
+        .bool(delta.file_processed)
+        .u64(delta.variants_tested)
+        .u64(delta.variants_ub_skipped)
+        .usize(delta.candidates.len());
+    for f in &delta.candidates {
+        encode_finding(&mut enc, f);
+    }
+    append(journal, enc.finish())?;
+    cont.absorb(std::mem::take(delta));
+    Ok(())
+}
+
+fn append(journal: &Mutex<Journal>, payload: Vec<u8>) -> Result<(), CheckpointError> {
+    journal
+        .lock()
+        .expect("poisoned")
+        .append(&payload)
+        .map_err(CheckpointError::from)
+}
+
+fn fail(failure: &Mutex<Option<CheckpointError>>, stop: &AtomicBool, e: CheckpointError) {
+    let mut slot = failure.lock().expect("poisoned");
+    if slot.is_none() {
+        *slot = Some(e);
+    }
+    stop.store(true, Ordering::Relaxed);
+}
+
+/// Folds a job's replayed prefix with this run's continuation: the
+/// prefix's candidates precede the continuation's, preserving global
+/// emission order.
+fn fold_outputs(mut partial: ShardOutput, cont: Option<ShardOutput>) -> ShardOutput {
+    if let Some(cont) = cont {
+        partial.absorb(cont);
+    }
+    partial
+}
+
+// ---------------------------------------------------------------------
+// Checkpointed reduction stage.
+// ---------------------------------------------------------------------
+
+/// [`crate::reduction::reduce_findings`] with per-finding checkpoints
+/// appended to the campaign's journal at `path`.
+///
+/// Witnesses recorded by an earlier (killed) reduction pass are replayed
+/// instead of recomputed; only missing findings fan out over the worker
+/// pool, each committing a `Reduced` frame as it lands. Since every
+/// witness is a pure function of its finding, the attached report —
+/// including the fingerprint/trigger dedup links — is byte-identical to
+/// an uninterrupted [`crate::reduction::reduce_findings`] at any worker
+/// count and any kill/resume history.
+///
+/// # Errors
+///
+/// Returns the same error classes as [`resume_campaign`]; the report is
+/// left unmodified on error.
+pub fn reduce_findings_checkpointed(
+    report: &mut CampaignReport,
+    options: &ReductionOptions,
+    workers: usize,
+    path: impl AsRef<Path>,
+) -> Result<(), CheckpointError> {
+    let path = path.as_ref();
+    let contents = JournalReader::read(path)?;
+    let replayed = replay(&contents.header, &contents.records)?;
+    // Replayed witnesses were computed under the recorded options; a
+    // resumed pass under different options would attach a mixture that
+    // matches *no* uninterrupted run — reject it, mirroring how the
+    // campaign manifest pins the `CampaignConfig`.
+    if let Some(recorded) = &replayed.reduction_options {
+        if recorded != options {
+            return Err(CheckpointError::Foreign(format!(
+                "journal reduction ran under {recorded:?}, resume passed {options:?}"
+            )));
+        }
+    }
+    let jobs = report.findings.len();
+    // Replayed witnesses must belong to *this* report's findings: every
+    // record's index and recorded signature are checked, so a journal
+    // from a different campaign (or a differently filtered report) is
+    // rejected instead of silently mis-attaching witnesses.
+    let mut slots: Vec<Option<Option<ReducedWitness>>> = vec![None; jobs];
+    for (&idx, (signature, witness)) in &replayed.reduced {
+        let finding = report.findings.get(idx as usize).ok_or_else(|| {
+            CheckpointError::Foreign(format!("reduced finding {idx} out of {jobs}"))
+        })?;
+        if finding.signature != *signature {
+            return Err(CheckpointError::Foreign(format!(
+                "reduced record {idx} signed {signature:?}, report has {:?}",
+                finding.signature
+            )));
+        }
+        slots[idx as usize] = Some(witness.clone());
+    }
+    let missing: Vec<usize> = (0..jobs).filter(|&i| slots[i].is_none()).collect();
+    if !missing.is_empty() {
+        let mut journal = Journal::open_append_with(path, &contents)?;
+        if replayed.reduction_options.is_none() {
+            journal.append(&encode_reduction_options(options))?;
+        }
+        let journal = Mutex::new(journal);
+        let failure: Mutex<Option<CheckpointError>> = Mutex::new(None);
+        let stop = AtomicBool::new(false);
+        let fresh: Mutex<Vec<(usize, Option<ReducedWitness>)>> = Mutex::new(Vec::new());
+        let workers = workers.clamp(1, missing.len());
+        let queue = WorkQueue::new(missing, workers);
+        let findings = &report.findings;
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queue = &queue;
+                let journal = &journal;
+                let failure = &failure;
+                let stop = &stop;
+                let fresh = &fresh;
+                scope.spawn(move || {
+                    while let Some(i) = queue.pop(w) {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let witness = reduce_one(&findings[i], options);
+                        let mut enc = Encoder::new();
+                        enc.u8(REC_REDUCED).u32(i as u32).str(&findings[i].signature);
+                        match &witness {
+                            Some(w) => {
+                                enc.bool(true);
+                                encode_witness(&mut enc, w);
+                            }
+                            None => {
+                                enc.bool(false);
+                            }
+                        }
+                        if let Err(e) = append(journal, enc.finish()) {
+                            fail(failure, stop, e);
+                            return;
+                        }
+                        fresh.lock().expect("poisoned").push((i, witness));
+                    }
+                });
+            }
+        });
+        if let Some(e) = failure.into_inner().expect("poisoned") {
+            return Err(e);
+        }
+        for (i, witness) in fresh.into_inner().expect("poisoned") {
+            slots[i] = Some(witness);
+        }
+    }
+    let witnesses = slots
+        .into_iter()
+        .map(|s| s.expect("every finding replayed or reduced"))
+        .collect();
+    attach_and_dedup(report, witnesses);
+    Ok(())
+}

@@ -13,7 +13,12 @@
 //! * [`mutation`] implements the Orion-style statement-deletion baseline
 //!   (PM-X in Figure 9);
 //! * [`coverage_run`] measures pass/point coverage improvements of SPE
-//!   and mutation variants over the baseline suite (Figure 9).
+//!   and mutation variants over the baseline suite (Figure 9);
+//! * [`checkpoint`] makes campaigns (and the [`reduction`] stage)
+//!   checkpointable and resumable over an [`spe_persist`] journal, with
+//!   final reports byte-identical to uninterrupted runs (`DESIGN.md` §9).
+
+#![warn(missing_docs)]
 
 use crate::steal::WorkQueue;
 use spe_core::{
@@ -25,12 +30,16 @@ use std::collections::HashMap;
 use std::ops::ControlFlow;
 use std::sync::{Mutex, OnceLock};
 
+pub mod checkpoint;
 pub mod coverage_run;
 pub mod mutation;
 pub mod reduction;
 pub mod steal;
 pub mod triage;
 
+pub use checkpoint::{
+    resume_campaign, run_campaign_checkpointed, CampaignStatus, CheckpointError, CheckpointOptions,
+};
 pub use reduction::ReducedWitness;
 
 /// Campaign configuration.
@@ -169,6 +178,20 @@ struct ShardOutput {
     candidates: Vec<Finding>,
     variants_tested: u64,
     variants_ub_skipped: u64,
+}
+
+impl ShardOutput {
+    /// Folds `later` onto `self`, preserving emission order (`later`'s
+    /// candidates follow `self`'s). The one merge definition shared by
+    /// every checkpoint site — commit-drain, journal replay, and the
+    /// partial/continuation fold — so a new counter cannot be merged in
+    /// some places and silently dropped in others.
+    fn absorb(&mut self, later: ShardOutput) {
+        self.file_processed |= later.file_processed;
+        self.variants_tested += later.variants_tested;
+        self.variants_ub_skipped += later.variants_ub_skipped;
+        self.candidates.extend(later.candidates);
+    }
 }
 
 /// Runs every compiler over one realized variant, appending candidate

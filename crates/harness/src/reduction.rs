@@ -16,20 +16,33 @@
 //!    distinct-signature duplicates of one root cause (the same bug
 //!    reported from several optimization levels or corpus files) without
 //!    consulting the seeded-bug registry, the way the paper's authors
-//!    manually folded Table 3/4 reports into root causes.
+//!    manually folded Table 3/4 reports into root causes;
+//! 3. a **trigger-aware** fold then catches what the fingerprint pass
+//!    structurally cannot: duplicates from different corpus files that
+//!    ddmin to *different* minimal programs of one root cause. Each
+//!    witness carries a [`ReducedWitness::trigger`] signature — the
+//!    observed divergence class from [`spe_simcc::Compiler::observe`]
+//!    (ICE signature, wrong-code [`spe_simcc::Divergence`] class, or
+//!    slow-compile) plus the witness's bug-site statement-kind shape
+//!    ([`spe_reduce::stmts::stmt_kind_signature`]) — and findings that
+//!    are still unmerged but share a trigger fold into the first root
+//!    with that trigger.
 //!
 //! Reduction jobs fan out over the same work-stealing
 //! [`crate::steal::WorkQueue`] the parallel campaign uses; since each
 //! job is a pure deterministic function of its finding, the report is
 //! **byte-identical for every worker count** — witnesses are written into
-//! per-finding slots and the fingerprint pass folds them in finding
-//! order.
+//! per-finding slots and both dedup folds walk them in finding order.
+//! For long campaigns the stage is also checkpointable: see
+//! [`crate::checkpoint::reduce_findings_checkpointed`] and `DESIGN.md`
+//! §9.
 
 use crate::steal::WorkQueue;
 use crate::{CampaignReport, Finding, FindingKind};
 use spe_minic::ast::Program;
+use spe_reduce::stmts::stmt_kind_signature;
 use spe_reduce::{reduce, ReduceConfig};
-use spe_simcc::Compiler;
+use spe_simcc::{Compiler, Divergence};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -41,6 +54,10 @@ pub struct ReducedWitness {
     pub source: String,
     /// Structural fingerprint of the witness (α-invariant, hex).
     pub fingerprint: String,
+    /// Trigger signature: observed divergence class (`|`-joined with)
+    /// the witness's statement-kind shape. Coarser than the fingerprint;
+    /// the second dedup fold keys on it.
+    pub trigger: String,
     /// Byte size of the raw first reproducer.
     pub original_bytes: usize,
     /// Byte size of [`ReducedWitness::source`].
@@ -99,13 +116,36 @@ pub fn reproduces(finding: &Finding, p: &Program, fuel: u64) -> bool {
     }
 }
 
+/// The trigger signature of a reduced witness: the divergence class the
+/// finding's compiler configuration observes on it, joined with its
+/// statement-kind shape. Two different minimal programs of one root
+/// cause typically agree on both; two distinct bugs rarely agree on the
+/// pair — which is what makes the key safe to merge on. The key is
+/// deliberately coarse (that is its job: folding what the exact
+/// fingerprint cannot), so like the paper's manual root-cause folding
+/// it trades a residual over-merge risk for recall; the tests pin its
+/// agreement with the ground-truth registry on the covered corpora.
+fn trigger_signature(finding: &Finding, p: &Program, fuel: u64) -> String {
+    let cc = Compiler::new(finding.compiler, finding.opt);
+    let wrong_code_fuel = (finding.kind == FindingKind::WrongCode).then_some(fuel);
+    let obs = cc.observe(p, wrong_code_fuel);
+    let class = match finding.kind {
+        FindingKind::Crash => obs.ice.as_ref().map_or("ice", |ice| ice.signature),
+        FindingKind::WrongCode => obs.divergence.map_or("wrong-code", Divergence::label),
+        FindingKind::Performance => "slow-compile",
+    };
+    format!("{class}|{}", stmt_kind_signature(p))
+}
+
 /// Reduces one finding's reproducer; `None` when the reproducer does not
 /// reproduce under re-check (never the case for campaign-produced
 /// findings) or fails to parse.
-fn reduce_one(finding: &Finding, options: &ReductionOptions) -> Option<ReducedWitness> {
+pub(crate) fn reduce_one(finding: &Finding, options: &ReductionOptions) -> Option<ReducedWitness> {
     let mut oracle = |p: &Program| reproduces(finding, p, options.fuel);
     let reduction = reduce(&finding.reproducer, &options.reduce, &mut oracle).ok()?;
+    let witness = spe_minic::parse(&reduction.witness).ok()?;
     Some(ReducedWitness {
+        trigger: trigger_signature(finding, &witness, options.fuel),
         source: reduction.witness,
         fingerprint: reduction.fingerprint.to_string(),
         original_bytes: reduction.original_bytes,
@@ -153,10 +193,18 @@ pub fn reduce_findings(report: &mut CampaignReport, options: &ReductionOptions, 
     attach_and_dedup(report, slots);
 }
 
-/// Attaches witnesses in finding order and marks fingerprint collisions:
-/// the first finding with a given `(family, kind, fingerprint)` key is
-/// the root; later ones get [`Finding::fingerprint_duplicate_of`].
-fn attach_and_dedup(report: &mut CampaignReport, witnesses: Vec<Option<ReducedWitness>>) {
+/// Attaches witnesses in finding order and runs both ground-truth-free
+/// dedup folds:
+///
+/// 1. **fingerprint** — the first finding with a given `(family, kind,
+///    fingerprint)` key is the root; later ones get
+///    [`Finding::fingerprint_duplicate_of`];
+/// 2. **trigger** — findings still unmerged after pass 1 fold into the
+///    first root sharing their `(family, kind, trigger)` key, catching
+///    cross-file duplicates whose witnesses ddmin to *different* minimal
+///    programs of one root cause (different fingerprints, same observed
+///    divergence class and bug-site statement shape).
+pub(crate) fn attach_and_dedup(report: &mut CampaignReport, witnesses: Vec<Option<ReducedWitness>>) {
     let mut seen: HashMap<(String, FindingKind, String), String> = HashMap::new();
     for (finding, witness) in report.findings.iter_mut().zip(witnesses) {
         finding.reduced = witness;
@@ -176,6 +224,30 @@ fn attach_and_dedup(report: &mut CampaignReport, witnesses: Vec<Option<ReducedWi
             Some(_) => {}
             None => {
                 seen.insert(key, finding.signature.clone());
+            }
+        }
+    }
+    // Second fold: trigger-aware merging of the roots pass 1 left apart.
+    let mut trigger_roots: HashMap<(String, FindingKind, String), String> = HashMap::new();
+    for finding in report.findings.iter_mut() {
+        if finding.fingerprint_duplicate_of.is_some() {
+            continue;
+        }
+        let Some(reduced) = &finding.reduced else {
+            continue;
+        };
+        let key = (
+            finding.compiler.family.to_string(),
+            finding.kind,
+            reduced.trigger.clone(),
+        );
+        match trigger_roots.get(&key) {
+            Some(first) if *first != finding.signature => {
+                finding.fingerprint_duplicate_of = Some(first.clone());
+            }
+            Some(_) => {}
+            None => {
+                trigger_roots.insert(key, finding.signature.clone());
             }
         }
     }
@@ -306,6 +378,66 @@ mod tests {
             assert_eq!(root.bug_id, f.bug_id, "merge matches ground truth");
         }
         assert!(report.corrected_findings().count() < report.findings.len());
+    }
+
+    #[test]
+    fn trigger_fold_merges_cross_file_duplicates_with_distinct_witnesses() {
+        // The fingerprint pass cannot fold two findings whose witnesses
+        // ddmin to *different* minimal programs of one root cause (the
+        // ROADMAP's remaining reduction refinement). The trigger-aware
+        // fold must: on these corpora a bug reached from two files
+        // reduces to structurally distinct witnesses that share their
+        // divergence class + statement shape. Every fold must still
+        // agree with the ground-truth registry.
+        use spe_corpus::{generate, CorpusConfig};
+        for seed in [2u64, 4] {
+            let files = generate(&CorpusConfig { files: 6, seed });
+            let config = CampaignConfig {
+                compilers: vec![
+                    Compiler::new(CompilerId::gcc(700), 0),
+                    Compiler::new(CompilerId::gcc(700), 2),
+                    Compiler::new(CompilerId::gcc(700), 3),
+                    Compiler::new(CompilerId::clang(390), 3),
+                ],
+                budget: 80,
+                algorithm: Algorithm::Paper,
+                check_wrong_code: true,
+                fuel: 15_000,
+            };
+            let mut report = run_campaign(&files, &config);
+            reduce_findings(
+                &mut report,
+                &ReductionOptions {
+                    fuel: config.fuel,
+                    ..ReductionOptions::default()
+                },
+                4,
+            );
+            let mut cross_file_distinct_witness = 0;
+            for f in &report.findings {
+                let Some(root_sig) = &f.fingerprint_duplicate_of else {
+                    continue;
+                };
+                let root = report
+                    .findings
+                    .iter()
+                    .find(|g| &g.signature == root_sig)
+                    .expect("root exists");
+                assert_eq!(f.bug_id, root.bug_id, "fold agrees with ground truth");
+                let (a, b) = (
+                    f.reduced.as_ref().expect("witness"),
+                    root.reduced.as_ref().expect("witness"),
+                );
+                if f.file != root.file && a.fingerprint != b.fingerprint {
+                    assert_eq!(a.trigger, b.trigger, "folded via the trigger key");
+                    cross_file_distinct_witness += 1;
+                }
+            }
+            assert!(
+                cross_file_distinct_witness >= 1,
+                "seed {seed}: no cross-file distinct-witness fold happened"
+            );
+        }
     }
 
     #[test]

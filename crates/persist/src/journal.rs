@@ -1,0 +1,434 @@
+//! The append-only, checksummed, fsync'd record journal.
+//!
+//! File layout (`DESIGN.md` §9):
+//!
+//! ```text
+//! "SPEJRNL\x01"                 8-byte magic, last byte = format version
+//! frame(header payload)          caller-defined manifest bytes
+//! frame(record payload) ...      zero or more records
+//!
+//! frame(p) = [u32 LE len(p)] [u64 LE fnv1a(p)] [p]
+//! ```
+//!
+//! Crash safety comes from three properties:
+//!
+//! 1. **Append-only**: committed bytes are never rewritten, so a crash
+//!    can only damage the tail;
+//! 2. **Framing**: a torn tail (partial frame header, short payload, or
+//!    checksum mismatch) is detected on read and dropped — the valid
+//!    prefix is returned with [`JournalContents::truncated_tail`] set;
+//! 3. **Durability**: [`Journal::append`] flushes and fsyncs before
+//!    returning, so an acknowledged record survives power loss.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Magic prefix of every journal file; the final byte is the format
+/// version.
+pub const MAGIC: [u8; 8] = *b"SPEJRNL\x01";
+
+/// Frame header size: u32 length + u64 checksum.
+const FRAME_HEADER: usize = 4 + 8;
+
+/// Upper bound on a single frame payload (1 GiB) — rejects absurd
+/// lengths read from corrupt frame headers before any allocation.
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Errors of journal creation, appending and reading.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An I/O error from the filesystem.
+    Io(io::Error),
+    /// The file does not start with the journal magic (wrong file, or a
+    /// journal of an incompatible format version).
+    BadMagic,
+    /// The file ends before a complete header frame — created by a crash
+    /// during [`Journal::create`]; there is no state to resume from.
+    NoHeader,
+    /// Another process (or another `Journal` in this process) holds the
+    /// journal open for appending. Writers take an exclusive OS-level
+    /// file lock: two concurrent resumes of one campaign would otherwise
+    /// interleave individually-valid frames and silently double-count
+    /// work on replay.
+    Busy,
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
+            JournalError::BadMagic => write!(f, "not a journal (bad magic or version)"),
+            JournalError::NoHeader => write!(f, "journal has no complete header frame"),
+            JournalError::Busy => write!(f, "journal is locked by another writer"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> JournalError {
+        JournalError::Io(e)
+    }
+}
+
+/// An open journal, positioned for appending.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Creates a new journal at `path` (truncating any existing file)
+    /// with the given header payload, fsync'd before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be created or
+    /// written.
+    pub fn create(path: impl AsRef<Path>, header: &[u8]) -> Result<Journal, JournalError> {
+        let path = path.as_ref();
+        // Open *without* truncating, take the writer lock, and only then
+        // clear the file: truncating first would destroy a live
+        // journal's committed frames even though this call then fails
+        // `Busy` — the active writer would keep appending into a
+        // zero-filled hole.
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)?;
+        lock_exclusive(&file)?;
+        file.set_len(0)?;
+        file.write_all(&MAGIC)?;
+        write_frame(&mut file, header)?;
+        file.sync_all()?;
+        // Durability of the file itself, not just its contents: fsync
+        // the parent directory so the new entry survives power loss
+        // (without this, acknowledged appends can land in a file the
+        // directory no longer names after a crash).
+        #[cfg(unix)]
+        if let Some(parent) = path.parent() {
+            let dir = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            File::open(dir)?.sync_all()?;
+        }
+        Ok(Journal { file })
+    }
+
+    /// Opens an existing journal for appending. The file is first scanned
+    /// and **truncated to its valid prefix**, so a torn tail frame from
+    /// an earlier crash is physically removed and the next append lands
+    /// on a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::BadMagic`] / [`JournalError::NoHeader`]
+    /// when the file is not a resumable journal, or
+    /// [`JournalError::Io`] on filesystem failure.
+    pub fn open_append(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let path = path.as_ref();
+        let contents = JournalReader::read(path)?;
+        Journal::open_append_with(path, &contents)
+    }
+
+    /// [`Journal::open_append`] for a journal the caller has **already
+    /// read**: trusts `contents` for the valid-prefix length instead of
+    /// re-scanning and re-checksumming the file — resume paths, which
+    /// must read the journal to replay it anyway, open for append in one
+    /// scan instead of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the file cannot be opened,
+    /// truncated, or positioned.
+    pub fn open_append_with(
+        path: impl AsRef<Path>,
+        contents: &JournalContents,
+    ) -> Result<Journal, JournalError> {
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        lock_exclusive(&file)?;
+        if contents.truncated_tail {
+            file.set_len(contents.valid_len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(contents.valid_len))?;
+        Ok(Journal { file })
+    }
+
+    /// Appends one record frame, flushed and fsync'd before returning —
+    /// an acknowledged append is durable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when the write or sync fails; the
+    /// journal's committed prefix is unaffected (a partial frame at the
+    /// tail is dropped on the next read).
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
+        write_frame(&mut self.file, payload)?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Takes the writer's exclusive advisory lock on the journal file; held
+/// until the [`Journal`] is dropped. A second writer — concurrent
+/// resumes of one campaign from two processes, say — fails fast with
+/// [`JournalError::Busy`] instead of interleaving frames that would
+/// silently double-count work on replay.
+fn lock_exclusive(file: &File) -> Result<(), JournalError> {
+    file.try_lock().map_err(|e| match e {
+        std::fs::TryLockError::WouldBlock => JournalError::Busy,
+        std::fs::TryLockError::Error(e) => JournalError::Io(e),
+    })
+}
+
+fn write_frame(file: &mut File, payload: &[u8]) -> io::Result<()> {
+    assert!(
+        payload.len() as u64 <= MAX_PAYLOAD as u64,
+        "journal frame payload too large"
+    );
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    file.write_all(&frame)
+}
+
+/// The decoded contents of a journal file: its valid prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalContents {
+    /// The header frame's payload.
+    pub header: Vec<u8>,
+    /// Every complete, checksum-valid record payload, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Whether bytes after the last valid frame were dropped (a torn
+    /// frame from a crash mid-append, or trailing corruption).
+    pub truncated_tail: bool,
+    /// Byte length of the valid prefix (where appends resume).
+    pub valid_len: u64,
+}
+
+/// Reads journal files.
+#[derive(Debug)]
+pub struct JournalReader;
+
+impl JournalReader {
+    /// Reads the valid prefix of the journal at `path`.
+    ///
+    /// Corruption **after** the header frame is not an error: reading
+    /// stops at the first frame whose length or checksum fails, returns
+    /// everything before it, and sets
+    /// [`JournalContents::truncated_tail`] — the caller decides whether
+    /// lost tail records matter (a resumed campaign simply recomputes
+    /// that work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::BadMagic`] when the magic or format
+    /// version mismatches, [`JournalError::NoHeader`] when no complete
+    /// header frame exists, or [`JournalError::Io`] on read failure.
+    pub fn read(path: impl AsRef<Path>) -> Result<JournalContents, JournalError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+            return Err(JournalError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let header = match next_frame(&bytes, &mut pos) {
+            Some(h) => h.to_vec(),
+            None => return Err(JournalError::NoHeader),
+        };
+        let mut records = Vec::new();
+        let mut valid_len = pos as u64;
+        while let Some(payload) = next_frame(&bytes, &mut pos) {
+            records.push(payload.to_vec());
+            valid_len = pos as u64;
+        }
+        Ok(JournalContents {
+            header,
+            records,
+            truncated_tail: valid_len < bytes.len() as u64,
+            valid_len,
+        })
+    }
+}
+
+/// Parses the frame at `*pos`, advancing past it; `None` when the bytes
+/// do not contain a complete, checksum-valid frame there.
+fn next_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
+    let start = *pos;
+    if bytes.len() - start < FRAME_HEADER {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[start..start + 4].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(bytes[start + 4..start + 12].try_into().expect("8 bytes"));
+    let data_start = start + FRAME_HEADER;
+    let data_end = data_start.checked_add(len as usize)?;
+    if data_end > bytes.len() {
+        return None;
+    }
+    let payload = &bytes[data_start..data_end];
+    if fnv1a(payload) != checksum {
+        return None;
+    }
+    *pos = data_end;
+    Some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("spe-persist-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_header_and_records() {
+        let path = temp_path("roundtrip.journal");
+        let mut j = Journal::create(&path, b"header").unwrap();
+        j.append(b"one").unwrap();
+        j.append(b"").unwrap();
+        j.append(&[0xff; 1000]).unwrap();
+        drop(j);
+        let c = JournalReader::read(&path).unwrap();
+        assert_eq!(c.header, b"header");
+        assert_eq!(c.records.len(), 3);
+        assert_eq!(c.records[0], b"one");
+        assert_eq!(c.records[1], b"");
+        assert_eq!(c.records[2], vec![0xff; 1000]);
+        assert!(!c.truncated_tail);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_cut_point() {
+        let path = temp_path("torn.journal");
+        let mut j = Journal::create(&path, b"h").unwrap();
+        j.append(b"first record").unwrap();
+        j.append(b"second record").unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        // Find where the second record's frame begins.
+        let c = JournalReader::read(&path).unwrap();
+        let second_start = full.len() - (FRAME_HEADER + b"second record".len());
+        assert_eq!(c.valid_len, full.len() as u64);
+        for cut in second_start + 1..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let c = JournalReader::read(&path).unwrap();
+            assert_eq!(c.records, vec![b"first record".to_vec()], "cut {cut}");
+            assert!(c.truncated_tail, "cut {cut}");
+            assert_eq!(c.valid_len as usize, second_start, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_read() {
+        let path = temp_path("corrupt.journal");
+        let mut j = Journal::create(&path, b"h").unwrap();
+        j.append(b"good").unwrap();
+        j.append(b"flipped").unwrap();
+        drop(j);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // flip a payload bit of the final record
+        std::fs::write(&path, &bytes).unwrap();
+        let c = JournalReader::read(&path).unwrap();
+        assert_eq!(c.records, vec![b"good".to_vec()]);
+        assert!(c.truncated_tail);
+    }
+
+    #[test]
+    fn open_append_truncates_the_torn_tail() {
+        let path = temp_path("reopen.journal");
+        let mut j = Journal::create(&path, b"h").unwrap();
+        j.append(b"kept").unwrap();
+        drop(j);
+        // Torn frame: plausible header, missing payload.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[10, 0, 0, 0, 1, 2, 3]).unwrap();
+        drop(f);
+        let mut j = Journal::open_append(&path).unwrap();
+        j.append(b"after crash").unwrap();
+        drop(j);
+        let c = JournalReader::read(&path).unwrap();
+        assert_eq!(c.records, vec![b"kept".to_vec(), b"after crash".to_vec()]);
+        assert!(!c.truncated_tail);
+    }
+
+    #[test]
+    fn a_second_writer_is_rejected_while_the_first_holds_the_journal() {
+        let path = temp_path("locked.journal");
+        let mut j = Journal::create(&path, b"h").unwrap();
+        j.append(b"rec").unwrap();
+        assert!(
+            matches!(Journal::open_append(&path), Err(JournalError::Busy)),
+            "concurrent writers must fail fast"
+        );
+        // A racing `create` must also fail Busy — and must NOT have
+        // damaged the live journal (truncation only happens under the
+        // lock).
+        assert!(matches!(
+            Journal::create(&path, b"other"),
+            Err(JournalError::Busy)
+        ));
+        j.append(b"still fine").unwrap();
+        drop(j); // releases the lock
+        let c = JournalReader::read(&path).unwrap();
+        assert_eq!(c.header, b"h", "live journal survived the racing create");
+        assert_eq!(c.records, vec![b"rec".to_vec(), b"still fine".to_vec()]);
+        let mut j2 = Journal::open_append(&path).unwrap();
+        j2.append(b"after").unwrap();
+        drop(j2);
+        assert_eq!(JournalReader::read(&path).unwrap().records.len(), 3);
+    }
+
+    #[test]
+    fn bad_magic_and_missing_header_are_errors() {
+        let path = temp_path("magic.journal");
+        std::fs::write(&path, b"not a journal at all").unwrap();
+        assert!(matches!(
+            JournalReader::read(&path),
+            Err(JournalError::BadMagic)
+        ));
+        std::fs::write(&path, MAGIC).unwrap();
+        assert!(matches!(
+            JournalReader::read(&path),
+            Err(JournalError::NoHeader)
+        ));
+        assert!(Journal::open_append(&path).is_err());
+    }
+
+    #[test]
+    fn version_bump_invalidates_old_readers() {
+        let path = temp_path("version.journal");
+        Journal::create(&path, b"h").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[7] = 0x02; // future format version
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            JournalReader::read(&path),
+            Err(JournalError::BadMagic)
+        ));
+    }
+}

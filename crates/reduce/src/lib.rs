@@ -57,6 +57,8 @@
 //! # Ok::<(), spe_reduce::ReduceError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 use spe_minic::ast::Program;
 use std::fmt;
 

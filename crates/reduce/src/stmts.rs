@@ -225,6 +225,80 @@ fn prune_declarators(p: &mut Program, sh: &mut Shrinker) {
     }
 }
 
+/// The ordered statement-kind shape of a program: every statement of
+/// every function, nested structure included, as a compact tag string —
+/// e.g. `fn{decl,if{expr},ret}`. Variable spellings, expression contents
+/// and types are all erased, so the signature is strictly coarser than
+/// the structural [`crate::fingerprint`]: two *different* minimal
+/// witnesses of one root cause (a bug reached through two corpus files
+/// that ddmin to distinct programs) usually still share it, which is
+/// what the harness's trigger-aware duplicate folding exploits
+/// (`spe_harness::reduction`, `DESIGN.md` §7).
+pub fn stmt_kind_signature(p: &Program) -> String {
+    let mut out = String::new();
+    for item in &p.items {
+        match item {
+            Item::Global(_) => out.push_str("gl,"),
+            Item::Struct(_) => out.push_str("st,"),
+            Item::Func(f) => {
+                out.push_str("fn{");
+                for s in &f.body {
+                    stmt_tag(s, &mut out);
+                }
+                out.push_str("},");
+            }
+        }
+    }
+    out
+}
+
+fn stmt_tag(s: &Stmt, out: &mut String) {
+    match s {
+        Stmt::Expr(_) => out.push_str("expr,"),
+        Stmt::Decl(_) => out.push_str("decl,"),
+        Stmt::Block(body) => {
+            out.push('{');
+            for s in body {
+                stmt_tag(s, out);
+            }
+            out.push_str("},");
+        }
+        Stmt::If(_, t, e) => {
+            out.push_str("if{");
+            stmt_tag(t, out);
+            if let Some(e) = e {
+                out.push_str("}else{");
+                stmt_tag(e, out);
+            }
+            out.push_str("},");
+        }
+        Stmt::While(_, body) => {
+            out.push_str("while{");
+            stmt_tag(body, out);
+            out.push_str("},");
+        }
+        Stmt::DoWhile(body, _) => {
+            out.push_str("do{");
+            stmt_tag(body, out);
+            out.push_str("},");
+        }
+        Stmt::For(_, _, _, body) => {
+            out.push_str("for{");
+            stmt_tag(body, out);
+            out.push_str("},");
+        }
+        Stmt::Return(_) => out.push_str("ret,"),
+        Stmt::Break => out.push_str("brk,"),
+        Stmt::Continue => out.push_str("cont,"),
+        Stmt::Goto(_) => out.push_str("goto,"),
+        Stmt::Label(_, s) => {
+            out.push_str("lbl:");
+            stmt_tag(s, out);
+        }
+        Stmt::Empty => out.push_str("nop,"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -279,5 +353,20 @@ mod tests {
         );
         assert!(out.contains("int a"), "declaration survives: {out}");
         parse(&out).expect("reduced output parses");
+    }
+
+    #[test]
+    fn stmt_kind_signature_erases_spelling_but_not_shape() {
+        let sig = |src: &str| stmt_kind_signature(&parse(src).expect("parses"));
+        // α-renaming and expression contents are erased…
+        assert_eq!(
+            sig("int main() { int a = 1; if (a) a = a; return a; }"),
+            sig("int main() { int z = 9; if (z) z = z + z; return z; }"),
+        );
+        // …but control shape is not.
+        assert_ne!(
+            sig("int main() { int a = 1; if (a) a = a; return a; }"),
+            sig("int main() { int a = 1; while (a) a = a; return a; }"),
+        );
     }
 }

@@ -4,6 +4,8 @@
 //! [`Histogram`]s (Figures 8–10) and render them as aligned ASCII / or
 //! Markdown for `EXPERIMENTS.md`.
 
+#![warn(missing_docs)]
+
 use spe_bignum::BigUint;
 
 /// A simple aligned table.
@@ -71,6 +73,34 @@ impl Table {
             out.push('\n');
         }
         out
+    }
+
+    /// Appends another table's rows — the merge step for **partial
+    /// reports** of one logically continuous run, such as the pre-kill
+    /// and post-resume phases of a checkpointed campaign
+    /// (`spe_harness::checkpoint`, `DESIGN.md` §9) rendered as one
+    /// table. Headers must match; the title of `self` wins.
+    ///
+    /// ```
+    /// let mut t = spe_report::Table::new("Phases", &["phase", "variants"]);
+    /// t.row(&["until kill".into(), "512".into()]);
+    /// let mut rest = spe_report::Table::new("Phases", &["phase", "variants"]);
+    /// rest.row(&["resumed".into(), "488".into()]);
+    /// t.extend(&rest);
+    /// assert!(t.render().contains("resumed"));
+    /// assert_eq!(t.rows.len(), 2);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two tables' headers differ.
+    pub fn extend(&mut self, other: &Table) -> &mut Table {
+        assert_eq!(
+            self.headers, other.headers,
+            "partial reports must share headers"
+        );
+        self.rows.extend(other.rows.iter().cloned());
+        self
     }
 
     /// Renders as a Markdown table (for `EXPERIMENTS.md`).

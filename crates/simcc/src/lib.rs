@@ -264,6 +264,35 @@ pub struct Observation {
     /// Differential mismatch against the reference on a UB-free input
     /// (exit code, output, or a runtime trap of the compiled image).
     pub wrong_code: bool,
+    /// How the compiled image diverged when [`Observation::wrong_code`]
+    /// is set (`None` otherwise) — the observable divergence class the
+    /// harness's trigger-aware duplicate folding keys on.
+    pub divergence: Option<Divergence>,
+}
+
+/// The observable way a compiled image disagreed with the UB-free
+/// reference execution. Classes are checked in this order; the first
+/// difference wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Divergence {
+    /// Different exit code.
+    ExitCode,
+    /// Same exit code, different program output.
+    Output,
+    /// The compiled image trapped (or ran out of fuel) where the
+    /// reference did not.
+    Trap,
+}
+
+impl Divergence {
+    /// Stable label, used in trigger signatures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Divergence::ExitCode => "exit-code",
+            Divergence::Output => "output",
+            Divergence::Trap => "trap",
+        }
+    }
 }
 
 /// The reference-interpreter limits the campaign harness and the
@@ -283,9 +312,21 @@ pub fn differs_from_reference(
     expected: &interp::Execution,
     fuel: u64,
 ) -> bool {
+    divergence_from_reference(compiled, expected, fuel).is_some()
+}
+
+/// [`differs_from_reference`], classified: *how* the compiled image
+/// disagreed with the reference, `None` when the executions agree.
+pub fn divergence_from_reference(
+    compiled: &Compiled,
+    expected: &interp::Execution,
+    fuel: u64,
+) -> Option<Divergence> {
     match compiled.execute(fuel * 4) {
-        Ok(run) => run.exit_code != expected.exit_code || run.output != expected.output,
-        Err(_) => true,
+        Ok(run) if run.exit_code != expected.exit_code => Some(Divergence::ExitCode),
+        Ok(run) if run.output != expected.output => Some(Divergence::Output),
+        Ok(_) => None,
+        Err(_) => Some(Divergence::Trap),
     }
 }
 
@@ -318,7 +359,9 @@ impl Compiler {
                     match interp::run(p, reference_limits(fuel)) {
                         Err(_) => obs.reference_ub = true,
                         Ok(expected) => {
-                            obs.wrong_code = differs_from_reference(&compiled, &expected, fuel);
+                            obs.divergence =
+                                divergence_from_reference(&compiled, &expected, fuel);
+                            obs.wrong_code = obs.divergence.is_some();
                         }
                     }
                 }

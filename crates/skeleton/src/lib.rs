@@ -34,6 +34,8 @@
 //! # Ok::<(), spe_skeleton::SkeletonError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 use spe_combinatorics::{FlatInstance, FlatScope, GeneralInstance, PoolRef, ScopedSolution};
 use spe_minic::ast::{OccId, Program, Type};
 use spe_minic::sema::{ScopeKind, SymbolTable, VarId, VarKind};

@@ -9,6 +9,7 @@ pub use spe_core as core;
 pub use spe_corpus as corpus;
 pub use spe_harness as harness;
 pub use spe_minic as minic;
+pub use spe_persist as persist;
 pub use spe_reduce as reduce;
 pub use spe_report as report;
 pub use spe_simcc as simcc;
