@@ -37,10 +37,11 @@
 
 use crate::steal::WorkQueue;
 use crate::{
-    merge_outputs, prepare_file, process_variant, CampaignConfig, CampaignReport, Finding,
-    FindingKind, ShardOutput,
+    degraded_finding, merge_outputs, prepare_file, CampaignConfig, CampaignReport, Finding,
+    FindingKind, Oracle, ShardOutput,
 };
-use crate::reduction::{attach_and_dedup, reduce_one, ReducedWitness, ReductionOptions};
+use crate::reduction::{attach_and_dedup, reduce_one_oracle, ReducedWitness, ReductionOptions};
+use spe_simcc::backend::CompilerBackend;
 use spe_core::{Algorithm, Skeleton, VariantSpace};
 use spe_corpus::TestFile;
 use spe_persist::{DecodeError, Decoder, Encoder, Journal, JournalError, JournalReader};
@@ -162,24 +163,31 @@ fn algorithm_tag(a: Algorithm) -> u8 {
     ALGORITHMS.iter().position(|&x| x == a).expect("known") as u8
 }
 
-/// Re-interns a journal bug id against the seeded-defect registry (the
-/// in-memory type is `&'static str`).
+/// Re-interns a journal bug id: against the seeded-defect registry when
+/// it names a known defect (the in-memory type is `&'static str`),
+/// otherwise through the process-wide interner — external backends
+/// record triage classes (crash-signature lines, signal names) as bug
+/// ids, which no registry can enumerate up front.
 fn intern_bug_id(id: &str) -> Result<&'static str, CheckpointError> {
     static IDS: OnceLock<Vec<&'static str>> = OnceLock::new();
-    IDS.get_or_init(|| bugs::registry().iter().map(|b| b.id).collect())
+    Ok(IDS
+        .get_or_init(|| bugs::registry().iter().map(|b| b.id).collect())
         .iter()
         .copied()
         .find(|&known| known == id)
-        .ok_or_else(|| CheckpointError::Foreign(format!("unknown bug id {id:?}")))
+        .unwrap_or_else(|| spe_simcc::backend::intern(id)))
 }
 
+/// As [`intern_bug_id`]: the built-in simulator families keep their
+/// canonical statics, external families go through the interner.
 fn intern_family(family: &str, version: u32) -> Result<CompilerId, CheckpointError> {
     match family {
         "gcc-sim" => Ok(CompilerId::gcc(version)),
         "clang-sim" => Ok(CompilerId::clang(version)),
-        other => Err(CheckpointError::Foreign(format!(
-            "unknown compiler family {other:?}"
-        ))),
+        other => Ok(CompilerId {
+            family: spe_simcc::backend::intern(other),
+            version,
+        }),
     }
 }
 
@@ -188,6 +196,7 @@ fn encode_finding(enc: &mut Encoder, f: &Finding) {
         FindingKind::Crash => 0,
         FindingKind::WrongCode => 1,
         FindingKind::Performance => 2,
+        FindingKind::BackendDegraded => 3,
     });
     enc.str(f.compiler.family).u32(f.compiler.version).u8(f.opt);
     enc.str(&f.signature).opt_str(f.bug_id);
@@ -199,6 +208,7 @@ fn decode_finding(dec: &mut Decoder) -> Result<Finding, CheckpointError> {
         0 => FindingKind::Crash,
         1 => FindingKind::WrongCode,
         2 => FindingKind::Performance,
+        3 => FindingKind::BackendDegraded,
         _ => return Err(CheckpointError::Foreign("finding kind tag".into())),
     };
     let family = dec.str()?;
@@ -261,12 +271,21 @@ fn decode_witness(dec: &mut Decoder) -> Result<ReducedWitness, CheckpointError> 
 }
 
 /// The journal header: everything needed to resume with **no inputs
-/// besides the journal path** — the full corpus, the campaign
-/// configuration, and the job decomposition.
+/// besides the journal path and the oracle backend** — the full corpus,
+/// the campaign configuration, the job decomposition, and the identity
+/// (id + configuration hash) of the backend that produced the recorded
+/// observations. Resume compares that identity against the backend it
+/// is handed and **refuses a mismatch**: replayed frames mixed with a
+/// different oracle's recomputed suffix would match *no* uninterrupted
+/// run.
 struct Manifest {
     config: CampaignConfig,
     shards_per_file: usize,
     files: Vec<TestFile>,
+    /// [`spe_simcc::backend::CompilerBackend::id`] of the recording oracle.
+    backend_id: String,
+    /// [`spe_simcc::backend::CompilerBackend::config_hash`] of the same.
+    backend_hash: u64,
 }
 
 impl Manifest {
@@ -280,6 +299,8 @@ impl Manifest {
             .u8(algorithm_tag(self.config.algorithm))
             .bool(self.config.check_wrong_code)
             .u64(self.config.fuel)
+            .str(&self.backend_id)
+            .u64(self.backend_hash)
             .usize(self.shards_per_file)
             .usize(self.files.len());
         for f in &self.files {
@@ -302,6 +323,8 @@ impl Manifest {
             .ok_or_else(|| CheckpointError::Foreign("algorithm tag".into()))?;
         let check_wrong_code = dec.bool()?;
         let fuel = dec.u64()?;
+        let backend_id = dec.str()?;
+        let backend_hash = dec.u64()?;
         let shards_per_file = dec.usize()?;
         let mut files = Vec::new();
         for _ in 0..dec.usize()? {
@@ -321,7 +344,32 @@ impl Manifest {
             },
             shards_per_file,
             files,
+            backend_id,
+            backend_hash,
         })
+    }
+
+    /// Fails with a clear [`CheckpointError::Foreign`] when the journal
+    /// was written under a different backend id or configuration hash
+    /// than `oracle` — the "refuse, don't silently diverge" gate of
+    /// every resume path (campaign and reduction).
+    fn check_backend(&self, oracle: &Oracle<'_>) -> Result<(), CheckpointError> {
+        let (id, hash) = (oracle.backend_id(), oracle.config_hash());
+        if self.backend_id != id {
+            return Err(CheckpointError::Foreign(format!(
+                "journal was recorded under backend {:?}, resume was handed {:?}; \
+                 resume with the matching backend (resume_campaign_with_backend)",
+                self.backend_id, id
+            )));
+        }
+        if self.backend_hash != hash {
+            return Err(CheckpointError::Foreign(format!(
+                "journal was recorded under backend {:?} with config hash {:#018x}, \
+                 the handed backend hashes {:#018x}; its configuration differs",
+                self.backend_id, self.backend_hash, hash
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -454,17 +502,57 @@ pub fn run_campaign_checkpointed(
     path: impl AsRef<Path>,
     options: &CheckpointOptions,
 ) -> Result<CampaignStatus, CheckpointError> {
+    run_campaign_checkpointed_oracle(files, config, workers, path, options, Oracle::Direct)
+}
+
+/// [`run_campaign_checkpointed`] with the oracle dispatched through
+/// `backend` instead of the in-process simulator. The manifest records
+/// the backend's id and configuration hash, and every resume of the
+/// journal must present a matching backend
+/// ([`resume_campaign_with_backend`]) or is refused.
+///
+/// A job whose backend reports a machinery failure
+/// ([`spe_simcc::backend::BackendError`], as opposed to a compiler
+/// verdict) is **quarantined**: a [`FindingKind::BackendDegraded`]
+/// finding carrying the failing variant is committed, the job is marked
+/// done, and the campaign continues — a flaky backend degrades coverage
+/// visibly instead of hanging or poisoning the run.
+///
+/// # Errors
+///
+/// As [`run_campaign_checkpointed`].
+pub fn run_campaign_checkpointed_with_backend(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: impl AsRef<Path>,
+    options: &CheckpointOptions,
+    backend: &dyn CompilerBackend,
+) -> Result<CampaignStatus, CheckpointError> {
+    run_campaign_checkpointed_oracle(files, config, workers, path, options, Oracle::Backend(backend))
+}
+
+fn run_campaign_checkpointed_oracle(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: impl AsRef<Path>,
+    options: &CheckpointOptions,
+    oracle: Oracle<'_>,
+) -> Result<CampaignStatus, CheckpointError> {
     let workers = workers.max(1);
     let manifest = Manifest {
         config: config.clone(),
         shards_per_file: workers,
         files: files.to_vec(),
+        backend_id: oracle.backend_id(),
+        backend_hash: oracle.config_hash(),
     };
     let journal = Journal::create(path, &manifest.encode())?;
     let jobs = (0..manifest.files.len() * manifest.shards_per_file)
         .map(|_| JobState::default())
         .collect();
-    drive(&manifest, jobs, journal, workers, options)
+    drive(&manifest, jobs, journal, workers, options, oracle)
 }
 
 /// Resumes the campaign whose journal lives at `path`.
@@ -486,15 +574,45 @@ pub fn run_campaign_checkpointed(
 /// Returns [`CheckpointError::Journal`] when the file is not a
 /// resumable journal, [`CheckpointError::Decode`] /
 /// [`CheckpointError::Foreign`] when its records do not decode against
-/// this build's schema and registries.
+/// this build's schema and registries — including a journal recorded
+/// under a **different oracle backend** than the in-process simulator
+/// (use [`resume_campaign_with_backend`] for those).
 pub fn resume_campaign(
     path: impl AsRef<Path>,
     workers: usize,
     options: &CheckpointOptions,
 ) -> Result<CampaignStatus, CheckpointError> {
-    let path = path.as_ref();
+    resume_campaign_oracle(path.as_ref(), workers, options, Oracle::Direct)
+}
+
+/// [`resume_campaign`] for journals written by
+/// [`run_campaign_checkpointed_with_backend`]: `backend` must match the
+/// manifest's recorded backend id *and* configuration hash, otherwise
+/// the resume is refused with [`CheckpointError::Foreign`] — replayed
+/// frames mixed with a different oracle's recomputed suffix would match
+/// no uninterrupted run.
+///
+/// # Errors
+///
+/// As [`resume_campaign`], plus the backend-mismatch refusal above.
+pub fn resume_campaign_with_backend(
+    path: impl AsRef<Path>,
+    backend: &dyn CompilerBackend,
+    workers: usize,
+    options: &CheckpointOptions,
+) -> Result<CampaignStatus, CheckpointError> {
+    resume_campaign_oracle(path.as_ref(), workers, options, Oracle::Backend(backend))
+}
+
+fn resume_campaign_oracle(
+    path: &Path,
+    workers: usize,
+    options: &CheckpointOptions,
+    oracle: Oracle<'_>,
+) -> Result<CampaignStatus, CheckpointError> {
     let contents = JournalReader::read(path)?;
     let replayed = replay(&contents.header, &contents.records)?;
+    replayed.manifest.check_backend(&oracle)?;
     if replayed.campaign_done {
         // Nothing to recompute: fold the recorded outputs directly.
         let outputs = replayed.jobs.into_iter().map(|j| j.partial).collect();
@@ -508,6 +626,7 @@ pub fn resume_campaign(
         journal,
         workers.max(1),
         options,
+        oracle,
     )
 }
 
@@ -515,12 +634,18 @@ pub fn resume_campaign(
 /// unfinished jobs into the work-stealing queue, streams each from its
 /// high-water mark with periodic checkpoint appends, and merges recorded
 /// and fresh outputs in deterministic job order.
+///
+/// A [`spe_simcc::backend::BackendError`] from the oracle quarantines
+/// the job: the degraded finding is committed together with the job's
+/// completion record, so a resume never re-runs the job against the
+/// same failing backend.
 fn drive(
     manifest: &Manifest,
     jobs: Vec<JobState>,
     journal: Journal,
     workers: usize,
     options: &CheckpointOptions,
+    oracle: Oracle<'_>,
 ) -> Result<CampaignStatus, CheckpointError> {
     let files = &manifest.files;
     let config = &manifest.config;
@@ -579,7 +704,16 @@ fn drive(
                                 return ControlFlow::Break(());
                             }
                             v.render_into(sk, &mut buf);
-                            process_variant(file, &buf, config, &mut delta);
+                            if let Err(e) = oracle.process_variant(file, &buf, config, &mut delta)
+                            {
+                                // Backend machinery failure: quarantine
+                                // the job (degraded finding + JobDone
+                                // below) and let the campaign continue.
+                                delta
+                                    .candidates
+                                    .push(degraded_finding(file, shard, &buf, config, &e));
+                                return ControlFlow::Break(());
+                            }
                             emitted += 1;
                             if let Some(limit) = options.stop_after {
                                 if processed.fetch_add(1, Ordering::Relaxed) + 1 >= limit {
@@ -729,9 +863,46 @@ pub fn reduce_findings_checkpointed(
     workers: usize,
     path: impl AsRef<Path>,
 ) -> Result<(), CheckpointError> {
-    let path = path.as_ref();
+    reduce_findings_checkpointed_oracle(report, options, workers, path.as_ref(), Oracle::Direct)
+}
+
+/// [`reduce_findings_checkpointed`] against a pluggable backend: the
+/// journal's manifest must have been recorded under the same backend id
+/// and configuration hash as `backend`, mirroring
+/// [`resume_campaign_with_backend`]'s refusal — reduction replays the
+/// oracle per candidate shrink, so a different backend would attach
+/// witnesses no uninterrupted run could produce.
+///
+/// # Errors
+///
+/// As [`reduce_findings_checkpointed`], plus the backend-mismatch
+/// refusal above.
+pub fn reduce_findings_checkpointed_with_backend(
+    report: &mut CampaignReport,
+    options: &ReductionOptions,
+    workers: usize,
+    path: impl AsRef<Path>,
+    backend: &dyn CompilerBackend,
+) -> Result<(), CheckpointError> {
+    reduce_findings_checkpointed_oracle(
+        report,
+        options,
+        workers,
+        path.as_ref(),
+        Oracle::Backend(backend),
+    )
+}
+
+fn reduce_findings_checkpointed_oracle(
+    report: &mut CampaignReport,
+    options: &ReductionOptions,
+    workers: usize,
+    path: &Path,
+    oracle: Oracle<'_>,
+) -> Result<(), CheckpointError> {
     let contents = JournalReader::read(path)?;
     let replayed = replay(&contents.header, &contents.records)?;
+    replayed.manifest.check_backend(&oracle)?;
     // Replayed witnesses were computed under the recorded options; a
     // resumed pass under different options would attach a mixture that
     // matches *no* uninterrupted run — reject it, mirroring how the
@@ -786,7 +957,7 @@ pub fn reduce_findings_checkpointed(
                         if stop.load(Ordering::Relaxed) {
                             return;
                         }
-                        let witness = reduce_one(&findings[i], options);
+                        let witness = reduce_one_oracle(&findings[i], options, oracle);
                         let mut enc = Encoder::new();
                         enc.u8(REC_REDUCED).u32(i as u32).str(&findings[i].signature);
                         match &witness {

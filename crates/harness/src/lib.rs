@@ -25,6 +25,7 @@ use spe_core::{
     Algorithm, EnumeratorConfig, Granularity, ShardedEnumerator, Skeleton, VariantSpace,
 };
 use spe_corpus::TestFile;
+use spe_simcc::backend::{intern, BackendError, CompilerBackend};
 use spe_simcc::{interp, CompileError, Compiler, CompilerId};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -85,6 +86,13 @@ pub enum FindingKind {
     WrongCode,
     /// Pathological compile time.
     Performance,
+    /// The oracle backend itself persistently failed on a (file, shard)
+    /// job — spawn failures, scratch I/O errors — and the job was
+    /// quarantined instead of wedging the campaign. Not a compiler bug
+    /// report: triage tables exclude it, and the reduction stage skips
+    /// it (there is no program to shrink). Only backend-dispatched
+    /// campaigns can produce it; the in-process oracle never fails.
+    BackendDegraded,
 }
 
 impl FindingKind {
@@ -94,6 +102,7 @@ impl FindingKind {
             FindingKind::Crash => "crash",
             FindingKind::WrongCode => "wrong code",
             FindingKind::Performance => "performance",
+            FindingKind::BackendDegraded => "backend degraded",
         }
     }
 }
@@ -285,8 +294,192 @@ fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mu
     }
 }
 
+/// How a campaign reaches its oracle: the direct in-process path (the
+/// historical [`process_variant`] code, byte-for-byte), or dispatch
+/// through a [`CompilerBackend`]. The two are proven byte-identical for
+/// the in-process backend by `tests/backend_identity.rs`; keeping the
+/// direct arm intact is what makes that test a real two-implementation
+/// comparison and the default path zero-risk.
+#[derive(Clone, Copy)]
+pub(crate) enum Oracle<'a> {
+    /// `spe_simcc` called in-process, no trait dispatch.
+    Direct,
+    /// Any [`CompilerBackend`], including the in-process one.
+    Backend(&'a dyn CompilerBackend),
+}
+
+impl Oracle<'_> {
+    /// The backend id recorded in checkpoint-journal manifests.
+    pub(crate) fn backend_id(&self) -> String {
+        match self {
+            Oracle::Direct => spe_simcc::backend::SIMCC_BACKEND_ID.to_string(),
+            Oracle::Backend(b) => b.id().to_string(),
+        }
+    }
+
+    /// The backend configuration hash recorded next to the id.
+    pub(crate) fn config_hash(&self) -> u64 {
+        match self {
+            Oracle::Direct => spe_simcc::backend::SIMCC_CONFIG_HASH,
+            Oracle::Backend(b) => b.config_hash(),
+        }
+    }
+
+    /// Runs every compiler configuration over one rendered variant.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] (backend dispatch only) when the oracle
+    /// machinery failed; the caller quarantines the work item.
+    pub(crate) fn process_variant(
+        &self,
+        file: &TestFile,
+        src: &str,
+        config: &CampaignConfig,
+        out: &mut ShardOutput,
+    ) -> Result<(), BackendError> {
+        match self {
+            Oracle::Direct => {
+                process_variant(file, src, config, out);
+                Ok(())
+            }
+            Oracle::Backend(b) => process_variant_backend(file, src, config, *b, out),
+        }
+    }
+}
+
+/// [`process_variant`] through a [`CompilerBackend`]: one
+/// `observe_variant` call per rendered variant, findings constructed
+/// from the returned [`spe_simcc::Observation`]s in the exact emission
+/// order of the direct path (crash, then per-bug performance, then
+/// wrong code, per configuration in order).
+fn process_variant_backend(
+    file: &TestFile,
+    src: &str,
+    config: &CampaignConfig,
+    backend: &dyn CompilerBackend,
+    out: &mut ShardOutput,
+) -> Result<(), BackendError> {
+    let fuel = config.check_wrong_code.then_some(config.fuel);
+    let observations = backend.observe_variant(src, &config.compilers, fuel)?;
+    if observations.is_empty() {
+        // Not a testable program for this backend (parse failure);
+        // skipped without counting, exactly like the direct path.
+        return Ok(());
+    }
+    if observations.len() != config.compilers.len() {
+        return Err(BackendError::new(format!(
+            "backend {} returned {} observations for {} configurations",
+            backend.id(),
+            observations.len(),
+            config.compilers.len()
+        )));
+    }
+    for (cc, obs) in config.compilers.iter().zip(&observations) {
+        out.variants_tested += 1;
+        if let Some(ice) = &obs.ice {
+            out.candidates.push(Finding {
+                kind: FindingKind::Crash,
+                compiler: cc.id(),
+                opt: cc.opt(),
+                signature: ice.signature.to_string(),
+                bug_id: Some(ice.bug_id),
+                file: file.name.clone(),
+                reproducer: src.to_string(),
+                duplicate_of: None,
+                reduced: None,
+                fingerprint_duplicate_of: None,
+            });
+            continue;
+        }
+        if obs.unsupported {
+            continue;
+        }
+        for slow in &obs.slow_compile {
+            out.candidates.push(Finding {
+                kind: FindingKind::Performance,
+                compiler: cc.id(),
+                opt: cc.opt(),
+                signature: format!(
+                    "compile time blow-up in {} at -O{}",
+                    cc.id().family,
+                    cc.opt()
+                ),
+                bug_id: Some(slow),
+                file: file.name.clone(),
+                reproducer: src.to_string(),
+                duplicate_of: None,
+                reduced: None,
+                fingerprint_duplicate_of: None,
+            });
+        }
+        if config.check_wrong_code {
+            if obs.reference_ub {
+                out.variants_ub_skipped += 1;
+            } else if obs.wrong_code {
+                out.candidates.push(Finding {
+                    kind: FindingKind::WrongCode,
+                    compiler: cc.id(),
+                    opt: cc.opt(),
+                    signature: format!(
+                        "wrong code: {} at -O{} on {}",
+                        cc.id().family,
+                        cc.opt(),
+                        file.name
+                    ),
+                    bug_id: obs.miscompiled_by.first().copied(),
+                    file: file.name.clone(),
+                    reproducer: src.to_string(),
+                    duplicate_of: None,
+                    reduced: None,
+                    fingerprint_duplicate_of: None,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The quarantine record of a (file, shard) job whose oracle backend
+/// persistently failed: the campaign carries on, and the report keeps
+/// an auditable [`FindingKind::BackendDegraded`] entry carrying the
+/// failing variant as its reproducer.
+pub(crate) fn degraded_finding(
+    file: &TestFile,
+    shard: usize,
+    variant_src: &str,
+    config: &CampaignConfig,
+    err: &BackendError,
+) -> Finding {
+    let (compiler, opt) = match config.compilers.first() {
+        Some(cc) => (cc.id(), cc.opt()),
+        None => (
+            CompilerId {
+                family: intern("backend"),
+                version: 0,
+            },
+            0,
+        ),
+    };
+    Finding {
+        kind: FindingKind::BackendDegraded,
+        compiler,
+        opt,
+        signature: format!(
+            "backend degraded: {} shard {}: {}",
+            file.name, shard, err.what
+        ),
+        bug_id: None,
+        file: file.name.clone(),
+        reproducer: variant_src.to_string(),
+        duplicate_of: None,
+        reduced: None,
+        fingerprint_duplicate_of: None,
+    }
+}
+
 /// Processes one (file, shard) work item: enumerates the shard's slice of
-/// the file's variant space and feeds every variant to [`process_variant`].
+/// the file's variant space and feeds every variant to the oracle.
 /// `buf` is the worker's reusable render buffer.
 fn process_work_item(
     file: &TestFile,
@@ -294,11 +487,12 @@ fn process_work_item(
     shards_per_file: usize,
     config: &CampaignConfig,
     buf: &mut String,
+    oracle: Oracle<'_>,
 ) -> ShardOutput {
     match prepare_file(file, shards_per_file, config) {
         None => ShardOutput::default(),
         Some((sk, space)) => {
-            process_file_shard(file, &sk, &space, shard, shards_per_file, config, buf)
+            process_file_shard(file, &sk, &space, shard, shards_per_file, config, buf, oracle)
         }
     }
 }
@@ -331,6 +525,9 @@ fn campaign_enumerator(config: &CampaignConfig, shards_per_file: usize) -> Shard
 /// Streams one shard of a prepared file through the compilers. Every
 /// variant is rendered through the worker's reusable `buf` via the
 /// skeleton's compiled template — no per-variant source allocation.
+/// A persistent backend failure quarantines the rest of the shard: the
+/// accumulated output is kept and capped with a
+/// [`FindingKind::BackendDegraded`] finding.
 #[allow(clippy::too_many_arguments)]
 fn process_file_shard(
     file: &TestFile,
@@ -340,6 +537,7 @@ fn process_file_shard(
     shards_per_file: usize,
     config: &CampaignConfig,
     buf: &mut String,
+    oracle: Oracle<'_>,
 ) -> ShardOutput {
     let mut out = ShardOutput {
         file_processed: shard == 0,
@@ -350,8 +548,13 @@ fn process_file_shard(
         shard,
         &mut |variant| {
             variant.render_into(sk, buf);
-            process_variant(file, buf, config, &mut out);
-            ControlFlow::Continue(())
+            match oracle.process_variant(file, buf, config, &mut out) {
+                Ok(()) => ControlFlow::Continue(()),
+                Err(e) => {
+                    out.candidates.push(degraded_finding(file, shard, buf, config, &e));
+                    ControlFlow::Break(())
+                }
+            }
         },
     );
     out
@@ -384,11 +587,34 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> CampaignReport {
 /// UB-checking reference interpreter first and skips undefined variants,
 /// exactly as §5.4 prescribes.
 pub fn run_campaign(files: &[TestFile], config: &CampaignConfig) -> CampaignReport {
+    run_campaign_oracle(files, config, Oracle::Direct)
+}
+
+/// [`run_campaign`] with the oracle dispatched through a
+/// [`CompilerBackend`] — the entry point for external-compiler
+/// campaigns. With the in-process [`spe_simcc::backend::SimccBackend`]
+/// the report is byte-identical to [`run_campaign`]; with a subprocess
+/// backend, jobs whose backend persistently fails are quarantined as
+/// [`FindingKind::BackendDegraded`] findings instead of aborting the
+/// campaign.
+pub fn run_campaign_with_backend(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    backend: &dyn CompilerBackend,
+) -> CampaignReport {
+    run_campaign_oracle(files, config, Oracle::Backend(backend))
+}
+
+fn run_campaign_oracle(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    oracle: Oracle<'_>,
+) -> CampaignReport {
     let mut buf = String::new();
     merge_outputs(
         files
             .iter()
-            .map(|file| process_work_item(file, 0, 1, config, &mut buf))
+            .map(|file| process_work_item(file, 0, 1, config, &mut buf, oracle))
             .collect(),
     )
 }
@@ -415,9 +641,31 @@ pub fn run_campaign_parallel(
     config: &CampaignConfig,
     workers: usize,
 ) -> CampaignReport {
+    run_campaign_parallel_oracle(files, config, workers, Oracle::Direct)
+}
+
+/// [`run_campaign_parallel`] through a [`CompilerBackend`]: the
+/// work-stealing pool, deterministic merge and byte-identity guarantees
+/// are unchanged; only the oracle is dispatched. Backends that shell out
+/// should size their process pool to `workers` (see `spe-subproc`).
+pub fn run_campaign_parallel_with_backend(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    backend: &dyn CompilerBackend,
+    workers: usize,
+) -> CampaignReport {
+    run_campaign_parallel_oracle(files, config, workers, Oracle::Backend(backend))
+}
+
+fn run_campaign_parallel_oracle(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    oracle: Oracle<'_>,
+) -> CampaignReport {
     let workers = workers.max(1);
     if workers == 1 || files.is_empty() {
-        return run_campaign(files, config);
+        return run_campaign_oracle(files, config, oracle);
     }
     let shards_per_file = workers;
     // Job i = (file i / shards, shard i % shards); the queue hands out
@@ -451,6 +699,7 @@ pub fn run_campaign_parallel(
                             shards_per_file,
                             config,
                             &mut buf,
+                            oracle,
                         ),
                     };
                     outputs.lock().expect("poisoned")[i] = Some(out);

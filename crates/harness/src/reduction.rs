@@ -38,11 +38,12 @@
 //! §9.
 
 use crate::steal::WorkQueue;
-use crate::{CampaignReport, Finding, FindingKind};
+use crate::{CampaignReport, Finding, FindingKind, Oracle};
 use spe_minic::ast::Program;
 use spe_reduce::stmts::stmt_kind_signature;
 use spe_reduce::{reduce, ReduceConfig};
-use spe_simcc::{Compiler, Divergence};
+use spe_simcc::backend::CompilerBackend;
+use spe_simcc::{Compiler, Divergence, Observation};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -93,13 +94,11 @@ impl Default for ReductionOptions {
     }
 }
 
-/// Whether `p` still reproduces `finding` under the finding's compiler
-/// configuration: same [`FindingKind`], same bug id (for wrong code, an
-/// unattributed finding — `bug_id == None` — must stay unattributed).
-pub fn reproduces(finding: &Finding, p: &Program, fuel: u64) -> bool {
-    let cc = Compiler::new(finding.compiler, finding.opt);
-    let wrong_code_fuel = (finding.kind == FindingKind::WrongCode).then_some(fuel);
-    let obs = cc.observe(p, wrong_code_fuel);
+/// Whether an observation still certifies `finding`: same
+/// [`FindingKind`], same bug id (for wrong code, an unattributed
+/// finding — `bug_id == None` — must stay unattributed). Shared by the
+/// direct and backend-dispatched reduction oracles.
+fn verdict_matches(finding: &Finding, obs: &Observation) -> bool {
     match finding.kind {
         FindingKind::Crash => obs.ice.as_ref().map(|ice| ice.bug_id) == finding.bug_id,
         FindingKind::Performance => match finding.bug_id {
@@ -113,7 +112,37 @@ pub fn reproduces(finding: &Finding, p: &Program, fuel: u64) -> bool {
                     None => obs.miscompiled_by.is_empty(),
                 }
         }
+        // A quarantine marker records backend machinery failing on a
+        // variant, not a compiler verdict: no observation certifies it.
+        FindingKind::BackendDegraded => false,
     }
+}
+
+/// Observes `p` under `finding`'s compiler configuration through the
+/// given oracle. `None` when a backend reports machinery failure
+/// mid-reduction — the candidate shrink is conservatively treated as
+/// non-reproducing, so reduction never commits a witness it could not
+/// re-check.
+fn observe_oracle(finding: &Finding, p: &Program, fuel: u64, oracle: Oracle<'_>) -> Option<Observation> {
+    let cc = Compiler::new(finding.compiler, finding.opt);
+    let wrong_code_fuel = (finding.kind == FindingKind::WrongCode).then_some(fuel);
+    match oracle {
+        Oracle::Direct => Some(cc.observe(p, wrong_code_fuel)),
+        Oracle::Backend(b) => b
+            .observe_config(&spe_minic::print_program(p), cc, wrong_code_fuel)
+            .ok(),
+    }
+}
+
+/// Whether `p` still reproduces `finding` under the finding's compiler
+/// configuration: same [`FindingKind`], same bug id (for wrong code, an
+/// unattributed finding — `bug_id == None` — must stay unattributed).
+pub fn reproduces(finding: &Finding, p: &Program, fuel: u64) -> bool {
+    reproduces_oracle(finding, p, fuel, Oracle::Direct)
+}
+
+fn reproduces_oracle(finding: &Finding, p: &Program, fuel: u64, oracle: Oracle<'_>) -> bool {
+    observe_oracle(finding, p, fuel, oracle).is_some_and(|obs| verdict_matches(finding, &obs))
 }
 
 /// The trigger signature of a reduced witness: the divergence class the
@@ -125,27 +154,40 @@ pub fn reproduces(finding: &Finding, p: &Program, fuel: u64) -> bool {
 /// fingerprint cannot), so like the paper's manual root-cause folding
 /// it trades a residual over-merge risk for recall; the tests pin its
 /// agreement with the ground-truth registry on the covered corpora.
-fn trigger_signature(finding: &Finding, p: &Program, fuel: u64) -> String {
-    let cc = Compiler::new(finding.compiler, finding.opt);
-    let wrong_code_fuel = (finding.kind == FindingKind::WrongCode).then_some(fuel);
-    let obs = cc.observe(p, wrong_code_fuel);
-    let class = match finding.kind {
-        FindingKind::Crash => obs.ice.as_ref().map_or("ice", |ice| ice.signature),
-        FindingKind::WrongCode => obs.divergence.map_or("wrong-code", Divergence::label),
-        FindingKind::Performance => "slow-compile",
+fn trigger_signature(finding: &Finding, p: &Program, fuel: u64, oracle: Oracle<'_>) -> String {
+    let class = match observe_oracle(finding, p, fuel, oracle) {
+        Some(obs) => match finding.kind {
+            FindingKind::Crash => obs.ice.as_ref().map_or("ice", |ice| ice.signature),
+            FindingKind::WrongCode => obs.divergence.map_or("wrong-code", Divergence::label),
+            FindingKind::Performance => "slow-compile",
+            FindingKind::BackendDegraded => "backend-degraded",
+        },
+        // Backend machinery failed on the final witness; the class is
+        // unknown, and an unknown class must never fold with a known one.
+        None => "unobserved",
     };
     format!("{class}|{}", stmt_kind_signature(p))
 }
 
 /// Reduces one finding's reproducer; `None` when the reproducer does not
 /// reproduce under re-check (never the case for campaign-produced
-/// findings) or fails to parse.
-pub(crate) fn reduce_one(finding: &Finding, options: &ReductionOptions) -> Option<ReducedWitness> {
-    let mut oracle = |p: &Program| reproduces(finding, p, options.fuel);
-    let reduction = reduce(&finding.reproducer, &options.reduce, &mut oracle).ok()?;
+/// findings), fails to parse, or the finding is a
+/// [`FindingKind::BackendDegraded`] quarantine marker (its "reproducer"
+/// is the variant the backend failed on — there is no verdict to
+/// preserve, so nothing to reduce).
+pub(crate) fn reduce_one_oracle(
+    finding: &Finding,
+    options: &ReductionOptions,
+    oracle: Oracle<'_>,
+) -> Option<ReducedWitness> {
+    if finding.kind == FindingKind::BackendDegraded {
+        return None;
+    }
+    let mut pred = |p: &Program| reproduces_oracle(finding, p, options.fuel, oracle);
+    let reduction = reduce(&finding.reproducer, &options.reduce, &mut pred).ok()?;
     let witness = spe_minic::parse(&reduction.witness).ok()?;
     Some(ReducedWitness {
-        trigger: trigger_signature(finding, &witness, options.fuel),
+        trigger: trigger_signature(finding, &witness, options.fuel, oracle),
         source: reduction.witness,
         fingerprint: reduction.fingerprint.to_string(),
         original_bytes: reduction.original_bytes,
@@ -159,6 +201,30 @@ pub(crate) fn reduce_one(finding: &Finding, options: &ReductionOptions) -> Optio
 /// fingerprint dedup pass. The resulting report is byte-identical for
 /// every worker count.
 pub fn reduce_findings(report: &mut CampaignReport, options: &ReductionOptions, workers: usize) {
+    reduce_findings_oracle(report, options, workers, Oracle::Direct);
+}
+
+/// [`reduce_findings`] with the re-check oracle dispatched through
+/// `backend`: every candidate shrink is re-observed by
+/// [`CompilerBackend::observe_config`] on the printed program, so
+/// witnesses are certified by the same oracle that found them. Use the
+/// backend the campaign ran under — a different one would re-check a
+/// different compiler.
+pub fn reduce_findings_with_backend(
+    report: &mut CampaignReport,
+    options: &ReductionOptions,
+    workers: usize,
+    backend: &dyn CompilerBackend,
+) {
+    reduce_findings_oracle(report, options, workers, Oracle::Backend(backend));
+}
+
+fn reduce_findings_oracle(
+    report: &mut CampaignReport,
+    options: &ReductionOptions,
+    workers: usize,
+    oracle: Oracle<'_>,
+) {
     let jobs = report.findings.len();
     if jobs == 0 {
         return;
@@ -168,7 +234,7 @@ pub fn reduce_findings(report: &mut CampaignReport, options: &ReductionOptions, 
     if workers == 1 {
         let mut slots = slots.lock().expect("poisoned");
         for (i, f) in report.findings.iter().enumerate() {
-            slots[i] = reduce_one(f, options);
+            slots[i] = reduce_one_oracle(f, options, oracle);
         }
         drop(slots);
     } else {
@@ -182,7 +248,7 @@ pub fn reduce_findings(report: &mut CampaignReport, options: &ReductionOptions, 
                     while let Some(i) = queue.pop(w) {
                         // Reduction is a pure function of the finding, so
                         // completion order cannot affect the report.
-                        let witness = reduce_one(&findings[i], options);
+                        let witness = reduce_one_oracle(&findings[i], options, oracle);
                         slots.lock().expect("poisoned")[i] = witness;
                     }
                 });

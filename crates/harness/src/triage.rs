@@ -34,7 +34,12 @@ pub fn table4(report: &CampaignReport, families: &[&str]) -> Vec<Table4Row> {
     families
         .iter()
         .map(|family| {
-            let findings: Vec<&Finding> = report.for_family(family).collect();
+            // Quarantined-job markers are infrastructure audit records,
+            // not compiler bug reports: Table 4 counts only verdicts.
+            let findings: Vec<&Finding> = report
+                .for_family(family)
+                .filter(|f| f.kind != FindingKind::BackendDegraded)
+                .collect();
             let fixed = findings
                 .iter()
                 .filter(|f| {
@@ -205,6 +210,29 @@ mod tests {
         }
         let gcc = &rows[0];
         assert!(gcc.reported > 0, "the seed programs expose gcc bugs");
+    }
+
+    #[test]
+    fn table4_ignores_quarantined_backend_jobs() {
+        let mut report = campaign();
+        let before = table4(&report, &["gcc-sim", "clang-sim"]);
+        report.findings.push(Finding {
+            kind: FindingKind::BackendDegraded,
+            compiler: CompilerId::gcc(700),
+            opt: 0,
+            signature: "backend degraded: x.c shard 0: cannot launch cc".to_string(),
+            bug_id: None,
+            file: "x.c".to_string(),
+            reproducer: "int main() { return 0; }".to_string(),
+            duplicate_of: None,
+            reduced: None,
+            fingerprint_duplicate_of: None,
+        });
+        assert_eq!(
+            table4(&report, &["gcc-sim", "clang-sim"]),
+            before,
+            "quarantine markers are not bug reports"
+        );
     }
 
     #[test]

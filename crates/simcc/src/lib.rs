@@ -26,7 +26,15 @@
 //! assert_eq!(out.exit_code, 5);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The differential oracle itself is pluggable: [`backend`] abstracts
+//! [`Compiler::observe`] behind the [`backend::CompilerBackend`] trait,
+//! so campaigns can drive this in-process simulator or external compiler
+//! binaries (the `spe-subproc` crate) through one interface.
 
+#![warn(missing_docs)]
+
+pub mod backend;
 pub mod bugs;
 pub mod coverage;
 pub mod interp;

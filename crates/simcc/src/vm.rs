@@ -45,11 +45,21 @@ pub enum Instr {
     /// Pop; jump if non-zero.
     Jnz(usize),
     /// Call function `idx` with `nargs` stacked arguments.
-    Call { func: usize, nargs: usize },
+    Call {
+        /// Index of the callee in the image's function table.
+        func: usize,
+        /// Number of stacked arguments to pass.
+        nargs: usize,
+    },
     /// Return with the top of stack as the value.
     Ret,
     /// Pop `nargs` values and emit formatted output.
-    Print { fmt: String, nargs: usize },
+    Print {
+        /// `printf`-subset format string.
+        fmt: String,
+        /// Number of stacked arguments the format consumes.
+        nargs: usize,
+    },
     /// Stop (after `main`).
     Halt,
 }
