@@ -11,17 +11,29 @@
 //!   progress — the emission-index high-water mark plus the candidate
 //!   [`Finding`]s and counters accrued since the last checkpoint — as a
 //!   checksummed, fsync'd record frame in an [`spe_persist::Journal`];
-//! * [`resume_campaign`] rebuilds the per-job state by replaying the
-//!   journal's valid prefix (a torn tail frame from the crash is
-//!   detected and dropped), re-deals only unfinished jobs into the
-//!   work-stealing queue, and **re-seeds each shard at its recorded
-//!   high-water mark** through
+//! * [`resume_campaign`] rebuilds the per-job state by **streaming** the
+//!   journal's valid prefix through [`spe_persist::JournalIter`] (a torn
+//!   tail frame from the crash is detected and dropped; memory is
+//!   bounded by the live per-job state, not the journal size), re-deals
+//!   only unfinished jobs into the work-stealing queue, and **re-seeds
+//!   each shard at its recorded high-water mark** through
 //!   [`spe_core::ShardedEnumerator::enumerate_shard_resumed_prepared`] —
 //!   the exact-unranking `skip_to` machinery, so no variant before the
 //!   mark is ever re-enumerated;
+//! * [`compact_journal`] folds a long journal's superseded `Progress`
+//!   frames into one frame per job via a crash-safe write-new → fsync →
+//!   atomic-rename rewrite ([`spe_persist::journal::promote`];
+//!   `DESIGN.md` §11) — resuming from the compacted journal is
+//!   byte-identical to resuming from the original;
 //! * [`reduce_findings_checkpointed`] extends the same journal through
 //!   the post-campaign reduction stage, recording one witness per
 //!   finding so a resumed pipeline re-reduces only what was lost.
+//!
+//! The worker pool itself — with its panic isolation, checkpoint
+//! cadence, and journal-fault degradation — lives in
+//! [`crate::orchestrate`]; every entry point here is a thin wrapper that
+//! builds or replays journal state and hands it to the one supervised
+//! loop.
 //!
 //! **Resume determinism.** Enumeration order is globally fixed
 //! (file-major, emission-index order), every per-variant computation is
@@ -35,22 +47,21 @@
 //! matter where (or how often) the campaign was killed. `DESIGN.md` §9
 //! spells the argument out.
 
+use crate::orchestrate::{self, FaultPolicy, Outcome, Spec};
+use crate::reduction::{attach_and_dedup, reduce_one_isolated, ReducedWitness, ReductionOptions};
 use crate::steal::WorkQueue;
 use crate::{
-    degraded_finding, merge_outputs, prepare_file, CampaignConfig, CampaignReport, Finding,
-    FindingKind, Oracle, ShardOutput,
+    merge_outputs, CampaignConfig, CampaignReport, Finding, FindingKind, Oracle, ShardOutput,
 };
-use crate::reduction::{attach_and_dedup, reduce_one_oracle, ReducedWitness, ReductionOptions};
-use spe_simcc::backend::CompilerBackend;
-use spe_core::{Algorithm, Skeleton, VariantSpace};
+use spe_core::Algorithm;
 use spe_corpus::TestFile;
-use spe_persist::{DecodeError, Decoder, Encoder, Journal, JournalError, JournalReader};
+use spe_persist::{DecodeError, Decoder, Encoder, Journal, JournalError, JournalIter};
+use spe_simcc::backend::CompilerBackend;
 use spe_simcc::{bugs, Compiler, CompilerId};
 use std::collections::HashMap;
 use std::fmt;
-use std::ops::ControlFlow;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Errors of checkpointed runs and resumes.
@@ -96,7 +107,9 @@ impl From<DecodeError> for CheckpointError {
 pub struct CheckpointOptions {
     /// Variants a worker processes on one shard between `Progress`
     /// records. Smaller = less recomputation after a crash, more fsync
-    /// traffic; `DESIGN.md` §9 discusses the cadence trade-off.
+    /// traffic; `DESIGN.md` §9 discusses the cadence trade-off. (A
+    /// wall-clock cadence bound rides alongside this count in
+    /// [`FaultPolicy::checkpoint_interval`].)
     pub every: u64,
     /// Simulated preemption for tests and demos: once this many variants
     /// have been processed across all workers *in this run*, workers
@@ -197,6 +210,7 @@ fn encode_finding(enc: &mut Encoder, f: &Finding) {
         FindingKind::WrongCode => 1,
         FindingKind::Performance => 2,
         FindingKind::BackendDegraded => 3,
+        FindingKind::JobPanicked => 4,
     });
     enc.str(f.compiler.family).u32(f.compiler.version).u8(f.opt);
     enc.str(&f.signature).opt_str(f.bug_id);
@@ -209,6 +223,7 @@ fn decode_finding(dec: &mut Decoder) -> Result<Finding, CheckpointError> {
         1 => FindingKind::WrongCode,
         2 => FindingKind::Performance,
         3 => FindingKind::BackendDegraded,
+        4 => FindingKind::JobPanicked,
         _ => return Err(CheckpointError::Foreign("finding kind tag".into())),
     };
     let family = dec.str()?;
@@ -235,6 +250,37 @@ fn decode_finding(dec: &mut Decoder) -> Result<Finding, CheckpointError> {
     })
 }
 
+/// One `Progress` frame: the job's new high-water mark plus exactly the
+/// output delta of the variants it covers, in one atomic payload.
+pub(crate) fn encode_progress(job: usize, emitted: u64, delta: &ShardOutput) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(REC_PROGRESS)
+        .u32(job as u32)
+        .u64(emitted)
+        .bool(delta.file_processed)
+        .u64(delta.variants_tested)
+        .u64(delta.variants_ub_skipped)
+        .usize(delta.candidates.len());
+    for f in &delta.candidates {
+        encode_finding(&mut enc, f);
+    }
+    enc.finish()
+}
+
+/// One `JobDone` frame.
+pub(crate) fn encode_job_done(job: usize) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(REC_JOB_DONE).u32(job as u32);
+    enc.finish()
+}
+
+/// One `CampaignDone` frame.
+pub(crate) fn encode_campaign_done() -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(REC_CAMPAIGN_DONE);
+    enc.finish()
+}
+
 /// Flat encoding of the full [`ReductionOptions`], pinned in the journal
 /// before the first `Reduced` record: witnesses depend on the oracle
 /// fuel and the reducer limits, so a resumed pass must run under the
@@ -247,6 +293,23 @@ fn encode_reduction_options(options: &ReductionOptions) -> Vec<u8> {
         .usize(options.reduce.max_oracle_calls)
         .usize(options.reduce.max_rounds)
         .bool(options.reduce.canonicalize);
+    enc.finish()
+}
+
+/// One `Reduced` frame: the finding's index and signature plus its
+/// witness (`None` when the finding proved irreducible).
+fn encode_reduced(finding: usize, signature: &str, witness: &Option<ReducedWitness>) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.u8(REC_REDUCED).u32(finding as u32).str(signature);
+    match witness {
+        Some(w) => {
+            enc.bool(true);
+            encode_witness(&mut enc, w);
+        }
+        None => {
+            enc.bool(false);
+        }
+    }
     enc.finish()
 }
 
@@ -376,17 +439,34 @@ impl Manifest {
 /// Replayed per-(file, shard) state: the committed high-water mark and
 /// the accumulated partial output.
 #[derive(Debug, Default)]
-struct JobState {
+pub(crate) struct JobState {
     /// Variants of this shard already covered by committed checkpoints.
-    emitted: u64,
+    pub(crate) emitted: u64,
     /// Accumulated output of those variants, in emission order.
-    partial: ShardOutput,
+    pub(crate) partial: ShardOutput,
     /// Whether the job finished in an earlier run.
-    done: bool,
+    pub(crate) done: bool,
 }
 
-/// Everything replayed from a journal.
-struct Replayed {
+impl JobState {
+    /// Whether this job carries no replayed state at all — nothing a
+    /// compaction `Progress` frame would need to preserve.
+    fn is_empty(&self) -> bool {
+        self.emitted == 0
+            && !self.done
+            && !self.partial.file_processed
+            && self.partial.variants_tested == 0
+            && self.partial.variants_ub_skipped == 0
+            && self.partial.candidates.is_empty()
+    }
+}
+
+/// Incremental journal replay: the manifest plus the live state folded
+/// from records **one frame at a time** — superseded `Progress` deltas
+/// are absorbed as they stream past, so replay memory is bounded by the
+/// per-job live state (high-water marks, partial outputs), never by the
+/// journal's frame count.
+struct Replay {
     manifest: Manifest,
     jobs: Vec<JobState>,
     campaign_done: bool,
@@ -400,19 +480,27 @@ struct Replayed {
     reduction_options: Option<ReductionOptions>,
 }
 
-fn replay(header: &[u8], records: &[Vec<u8>]) -> Result<Replayed, CheckpointError> {
-    let manifest = Manifest::decode(header)?;
-    let job_count = manifest.files.len() * manifest.shards_per_file;
-    let mut jobs: Vec<JobState> = (0..job_count).map(|_| JobState::default()).collect();
-    let mut campaign_done = false;
-    let mut reduced = HashMap::new();
-    let mut reduction_options = None;
-    for rec in records {
+impl Replay {
+    fn new(header: &[u8]) -> Result<Replay, CheckpointError> {
+        let manifest = Manifest::decode(header)?;
+        let job_count = manifest.files.len() * manifest.shards_per_file;
+        Ok(Replay {
+            manifest,
+            jobs: (0..job_count).map(|_| JobState::default()).collect(),
+            campaign_done: false,
+            reduced: HashMap::new(),
+            reduction_options: None,
+        })
+    }
+
+    /// Folds one record frame into the live state.
+    fn apply(&mut self, rec: &[u8]) -> Result<(), CheckpointError> {
+        let job_count = self.jobs.len();
         let mut dec = Decoder::new(rec);
         match dec.u8()? {
             REC_PROGRESS => {
                 let job = dec.u32()? as usize;
-                let state = jobs.get_mut(job).ok_or_else(|| {
+                let state = self.jobs.get_mut(job).ok_or_else(|| {
                     CheckpointError::Foreign(format!("job {job} out of {job_count}"))
                 })?;
                 state.emitted = dec.u64()?;
@@ -430,7 +518,8 @@ fn replay(header: &[u8], records: &[Vec<u8>]) -> Result<Replayed, CheckpointErro
             }
             REC_JOB_DONE => {
                 let job = dec.u32()? as usize;
-                jobs.get_mut(job)
+                self.jobs
+                    .get_mut(job)
                     .ok_or_else(|| {
                         CheckpointError::Foreign(format!("job {job} out of {job_count}"))
                     })?
@@ -438,7 +527,7 @@ fn replay(header: &[u8], records: &[Vec<u8>]) -> Result<Replayed, CheckpointErro
                 dec.expect_empty()?;
             }
             REC_CAMPAIGN_DONE => {
-                campaign_done = true;
+                self.campaign_done = true;
                 dec.expect_empty()?;
             }
             REC_REDUCED => {
@@ -450,7 +539,7 @@ fn replay(header: &[u8], records: &[Vec<u8>]) -> Result<Replayed, CheckpointErro
                     None
                 };
                 dec.expect_empty()?;
-                reduced.insert(finding, (signature, witness));
+                self.reduced.insert(finding, (signature, witness));
             }
             REC_REDUCTION_OPTIONS => {
                 let options = ReductionOptions {
@@ -462,22 +551,24 @@ fn replay(header: &[u8], records: &[Vec<u8>]) -> Result<Replayed, CheckpointErro
                     },
                 };
                 dec.expect_empty()?;
-                reduction_options = Some(options);
+                self.reduction_options = Some(options);
             }
             _ => return Err(CheckpointError::Foreign("record tag".into())),
         }
+        Ok(())
     }
-    Ok(Replayed {
-        manifest,
-        jobs,
-        campaign_done,
-        reduced,
-        reduction_options,
-    })
+
+    /// Streams every record of `iter` into the live state.
+    fn drain(&mut self, iter: &mut JournalIter) -> Result<(), CheckpointError> {
+        for rec in iter {
+            self.apply(&rec?)?;
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------
-// The checkpointed campaign driver.
+// Checkpointed campaign entry points (thin wrappers over orchestrate).
 // ---------------------------------------------------------------------
 
 /// Runs a campaign writing per-(file, shard) checkpoints into a fresh
@@ -490,11 +581,17 @@ fn replay(header: &[u8], records: &[Vec<u8>]) -> Result<Replayed, CheckpointErro
 /// configuration and decomposition, so [`resume_campaign`] needs only
 /// the path.
 ///
+/// Runs under [`FaultPolicy::default`]; degradation warnings (a journal
+/// that stopped accepting appends mid-run) are printed to stderr — use
+/// [`crate::orchestrate::campaign_checkpointed`] to inspect them
+/// programmatically.
+///
 /// # Errors
 ///
 /// Returns [`CheckpointError::Journal`] when the journal cannot be
-/// written (the campaign is aborted at the first failed append — no
-/// checkpoint is ever half-committed).
+/// **created**. Later append failures no longer abort the campaign:
+/// they are retried and then degrade the run to checkpoint-less
+/// completion (see [`FaultPolicy`]).
 pub fn run_campaign_checkpointed(
     files: &[TestFile],
     config: &CampaignConfig,
@@ -502,7 +599,16 @@ pub fn run_campaign_checkpointed(
     path: impl AsRef<Path>,
     options: &CheckpointOptions,
 ) -> Result<CampaignStatus, CheckpointError> {
-    run_campaign_checkpointed_oracle(files, config, workers, path, options, Oracle::Direct)
+    run_checkpointed_supervised(
+        files,
+        config,
+        workers,
+        path.as_ref(),
+        options,
+        Oracle::Direct,
+        FaultPolicy::default(),
+    )
+    .map(warn_and_unwrap)
 }
 
 /// [`run_campaign_checkpointed`] with the oracle dispatched through
@@ -516,7 +622,9 @@ pub fn run_campaign_checkpointed(
 /// verdict) is **quarantined**: a [`FindingKind::BackendDegraded`]
 /// finding carrying the failing variant is committed, the job is marked
 /// done, and the campaign continues — a flaky backend degrades coverage
-/// visibly instead of hanging or poisoning the run.
+/// visibly instead of hanging or poisoning the run. A job that
+/// **panics** is quarantined the same way as a
+/// [`FindingKind::JobPanicked`] finding (`DESIGN.md` §11).
 ///
 /// # Errors
 ///
@@ -529,36 +637,23 @@ pub fn run_campaign_checkpointed_with_backend(
     options: &CheckpointOptions,
     backend: &dyn CompilerBackend,
 ) -> Result<CampaignStatus, CheckpointError> {
-    run_campaign_checkpointed_oracle(files, config, workers, path, options, Oracle::Backend(backend))
-}
-
-fn run_campaign_checkpointed_oracle(
-    files: &[TestFile],
-    config: &CampaignConfig,
-    workers: usize,
-    path: impl AsRef<Path>,
-    options: &CheckpointOptions,
-    oracle: Oracle<'_>,
-) -> Result<CampaignStatus, CheckpointError> {
-    let workers = workers.max(1);
-    let manifest = Manifest {
-        config: config.clone(),
-        shards_per_file: workers,
-        files: files.to_vec(),
-        backend_id: oracle.backend_id(),
-        backend_hash: oracle.config_hash(),
-    };
-    let journal = Journal::create(path, &manifest.encode())?;
-    let jobs = (0..manifest.files.len() * manifest.shards_per_file)
-        .map(|_| JobState::default())
-        .collect();
-    drive(&manifest, jobs, journal, workers, options, oracle)
+    run_checkpointed_supervised(
+        files,
+        config,
+        workers,
+        path.as_ref(),
+        options,
+        Oracle::Backend(backend),
+        FaultPolicy::default(),
+    )
+    .map(warn_and_unwrap)
 }
 
 /// Resumes the campaign whose journal lives at `path`.
 ///
-/// The journal's valid prefix is replayed (a torn tail frame from the
-/// crash is truncated), finished jobs keep their recorded outputs,
+/// The journal's valid prefix is replayed **streamingly** (a torn tail
+/// frame from the crash is truncated, and memory stays bounded by the
+/// live per-job state), finished jobs keep their recorded outputs,
 /// and unfinished jobs are re-dealt into the work-stealing queue with
 /// their shards re-seeded at the committed emission-index high-water
 /// marks via exact unranking — work before a mark is never re-enumerated,
@@ -572,17 +667,25 @@ fn run_campaign_checkpointed_oracle(
 /// # Errors
 ///
 /// Returns [`CheckpointError::Journal`] when the file is not a
-/// resumable journal, [`CheckpointError::Decode`] /
-/// [`CheckpointError::Foreign`] when its records do not decode against
-/// this build's schema and registries — including a journal recorded
-/// under a **different oracle backend** than the in-process simulator
-/// (use [`resume_campaign_with_backend`] for those).
+/// resumable journal (or another writer holds it),
+/// [`CheckpointError::Decode`] / [`CheckpointError::Foreign`] when its
+/// records do not decode against this build's schema and registries —
+/// including a journal recorded under a **different oracle backend**
+/// than the in-process simulator (use [`resume_campaign_with_backend`]
+/// for those).
 pub fn resume_campaign(
     path: impl AsRef<Path>,
     workers: usize,
     options: &CheckpointOptions,
 ) -> Result<CampaignStatus, CheckpointError> {
-    resume_campaign_oracle(path.as_ref(), workers, options, Oracle::Direct)
+    resume_supervised(
+        path.as_ref(),
+        workers,
+        options,
+        Oracle::Direct,
+        FaultPolicy::default(),
+    )
+    .map(warn_and_unwrap)
 }
 
 /// [`resume_campaign`] for journals written by
@@ -601,241 +704,236 @@ pub fn resume_campaign_with_backend(
     workers: usize,
     options: &CheckpointOptions,
 ) -> Result<CampaignStatus, CheckpointError> {
-    resume_campaign_oracle(path.as_ref(), workers, options, Oracle::Backend(backend))
+    resume_supervised(
+        path.as_ref(),
+        workers,
+        options,
+        Oracle::Backend(backend),
+        FaultPolicy::default(),
+    )
+    .map(warn_and_unwrap)
 }
 
-fn resume_campaign_oracle(
+/// Prints absorbed-fault warnings to stderr and unwraps the status —
+/// the compatibility shim between the supervised [`Outcome`] and the
+/// historical `CampaignStatus`-returning API.
+fn warn_and_unwrap(outcome: Outcome) -> CampaignStatus {
+    for w in &outcome.warnings {
+        eprintln!("spe-harness: warning: {w}");
+    }
+    outcome.status
+}
+
+/// Builds the manifest and fresh journal for a checkpointed run, then
+/// hands everything to the supervised orchestrator.
+pub(crate) fn run_checkpointed_supervised(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: &Path,
+    options: &CheckpointOptions,
+    oracle: Oracle<'_>,
+    policy: FaultPolicy,
+) -> Result<Outcome, CheckpointError> {
+    let workers = workers.max(1);
+    let manifest = Manifest {
+        config: config.clone(),
+        shards_per_file: workers,
+        files: files.to_vec(),
+        backend_id: oracle.backend_id(),
+        backend_hash: oracle.config_hash(),
+    };
+    let journal = Journal::create(path, &manifest.encode())?;
+    let jobs = (0..files.len() * workers).map(|_| JobState::default()).collect();
+    Ok(orchestrate::run(Spec {
+        files,
+        config,
+        shards_per_file: workers,
+        jobs,
+        workers,
+        every: options.every,
+        stop_after: options.stop_after,
+        journal: Some(journal),
+        oracle,
+        policy,
+    }))
+}
+
+/// Streams the journal into live state (lock → replay → truncate torn
+/// tail → append position, one pass over the file), then hands the
+/// unfinished jobs to the supervised orchestrator.
+pub(crate) fn resume_supervised(
     path: &Path,
     workers: usize,
     options: &CheckpointOptions,
     oracle: Oracle<'_>,
-) -> Result<CampaignStatus, CheckpointError> {
-    let contents = JournalReader::read(path)?;
-    let replayed = replay(&contents.header, &contents.records)?;
-    replayed.manifest.check_backend(&oracle)?;
-    if replayed.campaign_done {
+    policy: FaultPolicy,
+) -> Result<Outcome, CheckpointError> {
+    let mut iter = JournalIter::open_locked(path)?;
+    let mut replay = Replay::new(iter.header())?;
+    replay.drain(&mut iter)?;
+    replay.manifest.check_backend(&oracle)?;
+    let Replay {
+        manifest,
+        jobs,
+        campaign_done,
+        ..
+    } = replay;
+    if campaign_done {
         // Nothing to recompute: fold the recorded outputs directly.
-        let outputs = replayed.jobs.into_iter().map(|j| j.partial).collect();
-        return Ok(CampaignStatus::Complete(merge_outputs(outputs)));
+        drop(iter);
+        let outputs = jobs.into_iter().map(|j| j.partial).collect();
+        return Ok(Outcome {
+            status: CampaignStatus::Complete(merge_outputs(outputs)),
+            warnings: Vec::new(),
+        });
     }
-    // `open_append_with` reuses the scan above instead of re-reading.
-    let journal = Journal::open_append_with(path, &contents)?;
-    drive(
-        &replayed.manifest,
-        replayed.jobs,
-        journal,
-        workers.max(1),
-        options,
+    // The scan's writer lock carries straight into the appender: no
+    // other resume can slip a frame in between replay and append.
+    let journal = iter.into_appender()?;
+    Ok(orchestrate::run(Spec {
+        files: &manifest.files,
+        config: &manifest.config,
+        shards_per_file: manifest.shards_per_file,
+        jobs,
+        workers: workers.max(1),
+        every: options.every,
+        stop_after: options.stop_after,
+        journal: Some(journal),
         oracle,
-    )
+        policy,
+    }))
 }
 
-/// Shared driver of fresh and resumed checkpointed campaigns: deals the
-/// unfinished jobs into the work-stealing queue, streams each from its
-/// high-water mark with periodic checkpoint appends, and merges recorded
-/// and fresh outputs in deterministic job order.
+// ---------------------------------------------------------------------
+// Journal compaction.
+// ---------------------------------------------------------------------
+
+/// What [`compact_journal`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactStats {
+    /// Record frames in the journal's valid prefix before compaction.
+    pub frames_before: u64,
+    /// Record frames after (one `Progress` per job with state, plus the
+    /// done/reduction markers).
+    pub frames_after: u64,
+    /// Bytes of the valid prefix before compaction.
+    pub bytes_before: u64,
+    /// Bytes of the compacted journal.
+    pub bytes_after: u64,
+}
+
+/// Compacts the journal at `path`: folds every superseded `Progress`
+/// frame into **one frame per job** (plus the done markers and the
+/// reduction records), so a journal that grew by one frame per
+/// checkpoint cadence interval shrinks to the size of its live state.
+/// Resuming from the compacted journal is **byte-identical** to
+/// resuming from the original — replay of either produces the same
+/// per-job high-water marks and partial outputs.
 ///
-/// A [`spe_simcc::backend::BackendError`] from the oracle quarantines
-/// the job: the degraded finding is committed together with the job's
-/// completion record, so a resume never re-runs the job against the
-/// same failing backend.
-fn drive(
-    manifest: &Manifest,
-    jobs: Vec<JobState>,
-    journal: Journal,
-    workers: usize,
-    options: &CheckpointOptions,
-    oracle: Oracle<'_>,
-) -> Result<CampaignStatus, CheckpointError> {
-    let files = &manifest.files;
-    let config = &manifest.config;
-    let shards_per_file = manifest.shards_per_file;
-    let every = options.every.max(1);
-    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].done).collect();
-    let queue = WorkQueue::new(pending, workers);
-    let journal = Mutex::new(journal);
-    let failure: Mutex<Option<CheckpointError>> = Mutex::new(None);
-    let stop = AtomicBool::new(false);
-    let processed = AtomicU64::new(0);
-    // Continuations (outputs of this run) per job; folded with the
-    // replayed partials afterwards.
-    let continuations: Mutex<Vec<Option<ShardOutput>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let prepared: Vec<OnceLock<Option<(Skeleton, VariantSpace)>>> =
-        (0..files.len()).map(|_| OnceLock::new()).collect();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let queue = &queue;
-            let journal = &journal;
-            let failure = &failure;
-            let stop = &stop;
-            let processed = &processed;
-            let continuations = &continuations;
-            let prepared = &prepared;
-            let jobs = &jobs;
-            scope.spawn(move || {
-                let mut buf = String::new();
-                while let Some(i) = queue.pop(w) {
-                    if stop.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let (file_idx, shard) = (i / shards_per_file, i % shards_per_file);
-                    let file = &files[file_idx];
-                    let skip = jobs[i].emitted;
-                    let enumerator = crate::campaign_enumerator(config, shards_per_file);
-                    let space = prepared[file_idx]
-                        .get_or_init(|| prepare_file(file, shards_per_file, config));
-                    // Output since the last committed checkpoint (the
-                    // journal delta) and since the start of this run
-                    // (the in-memory continuation).
-                    let mut delta = ShardOutput {
-                        file_processed: shard == 0 && space.is_some() && skip == 0,
-                        ..ShardOutput::default()
-                    };
-                    let mut cont = ShardOutput::default();
-                    let mut emitted = skip;
-                    let mut last_commit = skip;
-                    let mut killed = false;
-                    let mut io_failed = false;
-                    if let Some((sk, space)) = space {
-                        enumerator.enumerate_shard_resumed_prepared(space, shard, skip, &mut |v| {
-                            if stop.load(Ordering::Relaxed) {
-                                killed = true;
-                                return ControlFlow::Break(());
-                            }
-                            v.render_into(sk, &mut buf);
-                            if let Err(e) = oracle.process_variant(file, &buf, config, &mut delta)
-                            {
-                                // Backend machinery failure: quarantine
-                                // the job (degraded finding + JobDone
-                                // below) and let the campaign continue.
-                                delta
-                                    .candidates
-                                    .push(degraded_finding(file, shard, &buf, config, &e));
-                                return ControlFlow::Break(());
-                            }
-                            emitted += 1;
-                            if let Some(limit) = options.stop_after {
-                                if processed.fetch_add(1, Ordering::Relaxed) + 1 >= limit {
-                                    // Simulated kill: drop the
-                                    // uncommitted delta on the floor.
-                                    stop.store(true, Ordering::Relaxed);
-                                    killed = true;
-                                    return ControlFlow::Break(());
-                                }
-                            }
-                            if emitted - last_commit == every {
-                                match commit(journal, i, emitted, &mut delta, &mut cont) {
-                                    Ok(()) => last_commit = emitted,
-                                    Err(e) => {
-                                        fail(failure, stop, e);
-                                        io_failed = true;
-                                        return ControlFlow::Break(());
-                                    }
-                                }
-                            }
-                            ControlFlow::Continue(())
-                        });
-                    }
-                    if killed || io_failed {
-                        return;
-                    }
-                    // Commit the tail delta (skipped when nothing accrued
-                    // since the last checkpoint — an empty `Progress`
-                    // replays as a no-op, so eliding it saves an fsync
-                    // without changing resume semantics) and the job's
-                    // completion.
-                    let dirty = emitted != last_commit
-                        || delta.file_processed
-                        || delta.variants_tested != 0
-                        || !delta.candidates.is_empty();
-                    let mut enc = Encoder::new();
-                    enc.u8(REC_JOB_DONE).u32(i as u32);
-                    let finish = if dirty {
-                        commit(journal, i, emitted, &mut delta, &mut cont)
-                    } else {
-                        Ok(())
-                    }
-                    .and_then(|()| append(journal, enc.finish()));
-                    if let Err(e) = finish {
-                        fail(failure, stop, e);
-                        return;
-                    }
-                    continuations.lock().expect("poisoned")[i] = Some(cont);
-                }
-            });
+/// Crash safety (`DESIGN.md` §11): the compacted journal is written to
+/// a sibling `*.compact-tmp` file, fsync'd, and atomically renamed over
+/// the original ([`spe_persist::journal::promote`]). A kill at *any*
+/// point leaves either the untouched original (plus a stray tmp file
+/// the next compaction overwrites) or the complete compacted journal —
+/// never a mixture. The writer lock is held across scan, rewrite, and
+/// rename, so no concurrent resume can append between them.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Journal`] when the journal (or its tmp
+/// sibling) cannot be read or written, [`CheckpointError::Decode`] /
+/// [`CheckpointError::Foreign`] when its records do not decode — a
+/// journal this build cannot replay must not be rewritten by it.
+pub fn compact_journal(path: impl AsRef<Path>) -> Result<CompactStats, CheckpointError> {
+    compact_inner(path.as_ref(), true)
+}
+
+/// [`compact_journal`] that stops **just before the atomic rename** —
+/// the fault-injection suites use it as a deterministic
+/// "killed during compaction" state: the original journal is intact and
+/// still resumable, the completed tmp file is stray.
+#[doc(hidden)]
+pub fn compact_journal_abandoned(path: impl AsRef<Path>) -> Result<CompactStats, CheckpointError> {
+    compact_inner(path.as_ref(), false)
+}
+
+fn compact_inner(path: &Path, promote: bool) -> Result<CompactStats, CheckpointError> {
+    let mut iter = JournalIter::open_locked(path)?;
+    let header = iter.header().to_vec();
+    let mut replay = Replay::new(&header)?;
+    let mut frames_before = 0u64;
+    for rec in &mut iter {
+        replay.apply(&rec?)?;
+        frames_before += 1;
+    }
+    let bytes_before = iter.valid_len();
+    let tmp = match path.file_name() {
+        Some(name) => {
+            let mut t = name.to_os_string();
+            t.push(".compact-tmp");
+            path.with_file_name(t)
         }
-    });
-    if let Some(e) = failure.into_inner().expect("poisoned") {
-        return Err(e);
+        None => {
+            return Err(CheckpointError::Foreign(
+                "journal path has no file name to derive the compaction tmp from".into(),
+            ))
+        }
+    };
+    // The header bytes are copied verbatim — compaction must never
+    // re-encode the manifest, or a build with a drifted encoder could
+    // silently rewrite what the campaign pinned.
+    let mut out = Journal::create(&tmp, &header)?;
+    let mut frames_after = 0u64;
+    for (i, job) in replay.jobs.iter().enumerate() {
+        if !job.is_empty() {
+            out.append(&encode_progress(i, job.emitted, &job.partial))?;
+            frames_after += 1;
+        }
+        if job.done {
+            out.append(&encode_job_done(i))?;
+            frames_after += 1;
+        }
     }
-    if stop.load(Ordering::Relaxed) {
-        return Ok(CampaignStatus::Interrupted);
+    if replay.campaign_done {
+        out.append(&encode_campaign_done())?;
+        frames_after += 1;
     }
-    let mut journal = journal.into_inner().expect("poisoned");
-    let mut enc = Encoder::new();
-    enc.u8(REC_CAMPAIGN_DONE);
-    journal.append(&enc.finish())?;
-    let continuations = continuations.into_inner().expect("poisoned");
-    let outputs = jobs
-        .into_iter()
-        .zip(continuations)
-        .map(|(job, cont)| fold_outputs(job.partial, cont))
-        .collect();
-    Ok(CampaignStatus::Complete(merge_outputs(outputs)))
-}
-
-/// Appends a `Progress` frame committing `[last mark, emitted)` — the
-/// high-water mark plus exactly the candidates and counters of the
-/// variants it covers, in one atomic frame — then drains the delta into
-/// the run's continuation output.
-fn commit(
-    journal: &Mutex<Journal>,
-    job: usize,
-    emitted: u64,
-    delta: &mut ShardOutput,
-    cont: &mut ShardOutput,
-) -> Result<(), CheckpointError> {
-    let mut enc = Encoder::new();
-    enc.u8(REC_PROGRESS)
-        .u32(job as u32)
-        .u64(emitted)
-        .bool(delta.file_processed)
-        .u64(delta.variants_tested)
-        .u64(delta.variants_ub_skipped)
-        .usize(delta.candidates.len());
-    for f in &delta.candidates {
-        encode_finding(&mut enc, f);
+    if let Some(options) = &replay.reduction_options {
+        out.append(&encode_reduction_options(options))?;
+        frames_after += 1;
     }
-    append(journal, enc.finish())?;
-    cont.absorb(std::mem::take(delta));
-    Ok(())
-}
-
-fn append(journal: &Mutex<Journal>, payload: Vec<u8>) -> Result<(), CheckpointError> {
-    journal
-        .lock()
-        .expect("poisoned")
-        .append(&payload)
-        .map_err(CheckpointError::from)
-}
-
-fn fail(failure: &Mutex<Option<CheckpointError>>, stop: &AtomicBool, e: CheckpointError) {
-    let mut slot = failure.lock().expect("poisoned");
-    if slot.is_none() {
-        *slot = Some(e);
+    // Reduced records re-land in finding order (the HashMap dropped the
+    // original append order; any order replays identically, a fixed one
+    // keeps compaction deterministic).
+    let mut reduced: Vec<_> = replay.reduced.iter().collect();
+    reduced.sort_by_key(|&(&idx, _)| idx);
+    for (&idx, (signature, witness)) in reduced {
+        out.append(&encode_reduced(idx as usize, signature, witness))?;
+        frames_after += 1;
     }
-    stop.store(true, Ordering::Relaxed);
-}
-
-/// Folds a job's replayed prefix with this run's continuation: the
-/// prefix's candidates precede the continuation's, preserving global
-/// emission order.
-fn fold_outputs(mut partial: ShardOutput, cont: Option<ShardOutput>) -> ShardOutput {
-    if let Some(cont) = cont {
-        partial.absorb(cont);
+    drop(out); // every append was fsync'd; release the tmp writer lock
+    let bytes_after = std::fs::metadata(&tmp)
+        .map_err(|e| {
+            CheckpointError::Journal(JournalError::Io {
+                op: "stat",
+                path: tmp.clone(),
+                source: e,
+            })
+        })?
+        .len();
+    if promote {
+        spe_persist::journal::promote(&tmp, path)?;
     }
-    partial
+    // `iter` still holds the original journal's writer lock; dropped
+    // only now, after the rename (or abandonment) is complete.
+    drop(iter);
+    Ok(CompactStats {
+        frames_before,
+        frames_after,
+        bytes_before,
+        bytes_after,
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -851,7 +949,9 @@ fn fold_outputs(mut partial: ShardOutput, cont: Option<ShardOutput>) -> ShardOut
 /// witness is a pure function of its finding, the attached report —
 /// including the fingerprint/trigger dedup links — is byte-identical to
 /// an uninterrupted [`crate::reduction::reduce_findings`] at any worker
-/// count and any kill/resume history.
+/// count and any kill/resume history. A reducer that panics on one
+/// finding records it as irreducible with a stderr warning instead of
+/// killing the fan-out (`DESIGN.md` §11).
 ///
 /// # Errors
 ///
@@ -900,8 +1000,9 @@ fn reduce_findings_checkpointed_oracle(
     path: &Path,
     oracle: Oracle<'_>,
 ) -> Result<(), CheckpointError> {
-    let contents = JournalReader::read(path)?;
-    let replayed = replay(&contents.header, &contents.records)?;
+    let mut iter = JournalIter::open_locked(path)?;
+    let mut replayed = Replay::new(iter.header())?;
+    replayed.drain(&mut iter)?;
     replayed.manifest.check_backend(&oracle)?;
     // Replayed witnesses were computed under the recorded options; a
     // resumed pass under different options would attach a mixture that
@@ -934,7 +1035,8 @@ fn reduce_findings_checkpointed_oracle(
     }
     let missing: Vec<usize> = (0..jobs).filter(|&i| slots[i].is_none()).collect();
     if !missing.is_empty() {
-        let mut journal = Journal::open_append_with(path, &contents)?;
+        // The scan's lock carries into the appender, as on resume.
+        let mut journal = iter.into_appender()?;
         if replayed.reduction_options.is_none() {
             journal.append(&encode_reduction_options(options))?;
         }
@@ -957,20 +1059,14 @@ fn reduce_findings_checkpointed_oracle(
                         if stop.load(Ordering::Relaxed) {
                             return;
                         }
-                        let witness = reduce_one_oracle(&findings[i], options, oracle);
-                        let mut enc = Encoder::new();
-                        enc.u8(REC_REDUCED).u32(i as u32).str(&findings[i].signature);
-                        match &witness {
-                            Some(w) => {
-                                enc.bool(true);
-                                encode_witness(&mut enc, w);
+                        let witness = reduce_one_isolated(&findings[i], options, oracle);
+                        let frame = encode_reduced(i, &findings[i].signature, &witness);
+                        if let Err(e) = journal.lock().expect("poisoned").append(&frame) {
+                            let mut slot = failure.lock().expect("poisoned");
+                            if slot.is_none() {
+                                *slot = Some(e.into());
                             }
-                            None => {
-                                enc.bool(false);
-                            }
-                        }
-                        if let Err(e) = append(journal, enc.finish()) {
-                            fail(failure, stop, e);
+                            stop.store(true, Ordering::Relaxed);
                             return;
                         }
                         fresh.lock().expect("poisoned").push((i, witness));
@@ -987,7 +1083,20 @@ fn reduce_findings_checkpointed_oracle(
     }
     let witnesses = slots
         .into_iter()
-        .map(|s| s.expect("every finding replayed or reduced"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| {
+                // Unreachable by construction (every missing slot was
+                // either filled or the pool returned Err) — but one
+                // unaccounted finding must degrade to "unreduced", not
+                // kill the pipeline.
+                eprintln!(
+                    "spe-harness: warning: finding {i} was neither replayed nor reduced; \
+                     leaving it without a witness"
+                );
+                None
+            })
+        })
         .collect();
     attach_and_dedup(report, witnesses);
     Ok(())

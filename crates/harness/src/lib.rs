@@ -16,11 +16,13 @@
 //!   and mutation variants over the baseline suite (Figure 9);
 //! * [`checkpoint`] makes campaigns (and the [`reduction`] stage)
 //!   checkpointable and resumable over an [`spe_persist`] journal, with
-//!   final reports byte-identical to uninterrupted runs (`DESIGN.md` §9).
+//!   final reports byte-identical to uninterrupted runs (`DESIGN.md` §9);
+//! * [`orchestrate`] is the one supervised worker-pool loop behind every
+//!   parallel and checkpointed entry point — panic isolation, checkpoint
+//!   cadence, and journal-fault degradation (`DESIGN.md` §11).
 
 #![warn(missing_docs)]
 
-use crate::steal::WorkQueue;
 use spe_core::{
     Algorithm, EnumeratorConfig, Granularity, ShardedEnumerator, Skeleton, VariantSpace,
 };
@@ -29,11 +31,11 @@ use spe_simcc::backend::{intern, BackendError, CompilerBackend};
 use spe_simcc::{interp, CompileError, Compiler, CompilerId};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use std::sync::{Mutex, OnceLock};
 
 pub mod checkpoint;
 pub mod coverage_run;
 pub mod mutation;
+pub mod orchestrate;
 pub mod reduction;
 pub mod steal;
 pub mod triage;
@@ -93,6 +95,15 @@ pub enum FindingKind {
     /// it (there is no program to shrink). Only backend-dispatched
     /// campaigns can produce it; the in-process oracle never fails.
     BackendDegraded,
+    /// A worker **panicked** while processing the (file, shard) job —
+    /// a poisoned variant tripping a bug in the enumeration or oracle
+    /// machinery. The job is rolled back to its last fully-processed
+    /// variant and quarantined with this durable marker (committed with
+    /// the job's completion record, so a resume skips it instead of
+    /// re-tripping the panic). Like [`FindingKind::BackendDegraded`],
+    /// it is an infrastructure record, not a compiler bug report:
+    /// triage tables exclude it and the reduction stage skips it.
+    JobPanicked,
 }
 
 impl FindingKind {
@@ -103,6 +114,7 @@ impl FindingKind {
             FindingKind::WrongCode => "wrong code",
             FindingKind::Performance => "performance",
             FindingKind::BackendDegraded => "backend degraded",
+            FindingKind::JobPanicked => "job panicked",
         }
     }
 }
@@ -478,6 +490,41 @@ pub(crate) fn degraded_finding(
     }
 }
 
+/// The quarantine record of a (file, shard) job whose worker panicked:
+/// the [`FindingKind::JobPanicked`] counterpart of [`degraded_finding`],
+/// carrying the variant that was being processed when the panic fired
+/// and the panic message.
+pub(crate) fn panicked_finding(
+    file: &TestFile,
+    shard: usize,
+    variant_src: &str,
+    config: &CampaignConfig,
+    what: &str,
+) -> Finding {
+    let (compiler, opt) = match config.compilers.first() {
+        Some(cc) => (cc.id(), cc.opt()),
+        None => (
+            CompilerId {
+                family: intern("backend"),
+                version: 0,
+            },
+            0,
+        ),
+    };
+    Finding {
+        kind: FindingKind::JobPanicked,
+        compiler,
+        opt,
+        signature: format!("job panicked: {} shard {}: {}", file.name, shard, what),
+        bug_id: None,
+        file: file.name.clone(),
+        reproducer: variant_src.to_string(),
+        duplicate_of: None,
+        reduced: None,
+        fingerprint_duplicate_of: None,
+    }
+}
+
 /// Processes one (file, shard) work item: enumerates the shard's slice of
 /// the file's variant space and feeds every variant to the oracle.
 /// `buf` is the worker's reusable render buffer.
@@ -636,12 +683,23 @@ fn run_campaign_oracle(
 /// deterministic (file, shard) order regardless of completion order, and
 /// within that order findings keep their stable (file, compiler,
 /// signature) emission sequence.
+///
+/// A thin wrapper over [`orchestrate`]'s supervised loop (no checkpoint
+/// sink): workers additionally run each job under panic isolation, so a
+/// poisoned variant quarantines its (file, shard) job as a
+/// [`FindingKind::JobPanicked`] finding instead of crashing the process.
 pub fn run_campaign_parallel(
     files: &[TestFile],
     config: &CampaignConfig,
     workers: usize,
 ) -> CampaignReport {
-    run_campaign_parallel_oracle(files, config, workers, Oracle::Direct)
+    complete_report(orchestrate::campaign_oracle(
+        files,
+        config,
+        workers,
+        Oracle::Direct,
+        orchestrate::FaultPolicy::default(),
+    ))
 }
 
 /// [`run_campaign_parallel`] through a [`CompilerBackend`]: the
@@ -654,67 +712,25 @@ pub fn run_campaign_parallel_with_backend(
     backend: &dyn CompilerBackend,
     workers: usize,
 ) -> CampaignReport {
-    run_campaign_parallel_oracle(files, config, workers, Oracle::Backend(backend))
+    complete_report(orchestrate::campaign_oracle(
+        files,
+        config,
+        workers,
+        Oracle::Backend(backend),
+        orchestrate::FaultPolicy::default(),
+    ))
 }
 
-fn run_campaign_parallel_oracle(
-    files: &[TestFile],
-    config: &CampaignConfig,
-    workers: usize,
-    oracle: Oracle<'_>,
-) -> CampaignReport {
-    let workers = workers.max(1);
-    if workers == 1 || files.is_empty() {
-        return run_campaign_oracle(files, config, oracle);
+/// Unwraps an in-memory (checkpoint-less) [`orchestrate::Outcome`]: with
+/// no journal sink and no kill budget, such a run always completes.
+fn complete_report(outcome: orchestrate::Outcome) -> CampaignReport {
+    for w in &outcome.warnings {
+        eprintln!("spe-harness: warning: {w}");
     }
-    let shards_per_file = workers;
-    // Job i = (file i / shards, shard i % shards); the queue hands out
-    // indices, the outputs slot keeps the deterministic fold order.
-    let jobs = files.len() * shards_per_file;
-    let queue = WorkQueue::new((0..jobs).collect(), workers);
-    let outputs: Mutex<Vec<Option<ShardOutput>>> = Mutex::new((0..jobs).map(|_| None).collect());
-    // Per-file skeleton + materialized variant space, computed once by
-    // whichever worker reaches the file first and shared by the rest.
-    let prepared: Vec<OnceLock<Option<(Skeleton, VariantSpace)>>> =
-        (0..files.len()).map(|_| OnceLock::new()).collect();
-    std::thread::scope(|scope| {
-        for w in 0..workers {
-            let queue = &queue;
-            let outputs = &outputs;
-            let prepared = &prepared;
-            scope.spawn(move || {
-                let mut buf = String::new();
-                while let Some(i) = queue.pop(w) {
-                    let (file_idx, shard) = (i / shards_per_file, i % shards_per_file);
-                    let file = &files[file_idx];
-                    let out = match prepared[file_idx]
-                        .get_or_init(|| prepare_file(file, shards_per_file, config))
-                    {
-                        None => ShardOutput::default(),
-                        Some((sk, space)) => process_file_shard(
-                            file,
-                            sk,
-                            space,
-                            shard,
-                            shards_per_file,
-                            config,
-                            &mut buf,
-                            oracle,
-                        ),
-                    };
-                    outputs.lock().expect("poisoned")[i] = Some(out);
-                }
-            });
-        }
-    });
-    merge_outputs(
-        outputs
-            .into_inner()
-            .expect("poisoned")
-            .into_iter()
-            .map(|o| o.expect("every work item completed"))
-            .collect(),
-    )
+    outcome
+        .status
+        .into_report()
+        .expect("in-memory campaigns always complete")
 }
 
 fn record(

@@ -1,0 +1,549 @@
+//! The supervised campaign orchestrator: **one** worker-pool/merge loop
+//! behind every parallel and checkpointed entry point.
+//!
+//! Historically the crate spelled the pool invariants twice — once in
+//! the in-memory parallel campaign, once in the checkpointed driver —
+//! pinned together only by byte-identity tests. This module is the
+//! single loop both were collapsed into (`DESIGN.md` §11): a
+//! work-stealing pool over the `files × shards` job space, with an
+//! **optional checkpoint sink** (an `spe-persist` journal) and three
+//! supervision layers the duplicated loops never had:
+//!
+//! * **Panic isolation** — each (file, shard) job runs under
+//!   [`std::panic::catch_unwind`]. A panicking job is rolled back to its
+//!   last fully-processed variant, quarantined as a durable
+//!   [`crate::FindingKind::JobPanicked`] finding (committed together
+//!   with the job's completion record, so a resume skips it), and the
+//!   pool carries on — one poisoned variant cannot take down a
+//!   multi-day campaign or wedge its siblings.
+//! * **Time-based checkpoint cadence** — in addition to the historical
+//!   every-N-variants cadence, a job whose variants are slow (an
+//!   external compiler at -O3) commits at least every
+//!   [`FaultPolicy::checkpoint_interval`], bounding recomputation after
+//!   a crash by wall-clock time instead of variant count.
+//! * **Journal-fault tolerance** — a failed checkpoint append (ENOSPC,
+//!   EIO) is retried with bounded exponential backoff
+//!   ([`FaultPolicy::max_append_retries`] / [`FaultPolicy::retry_backoff`]);
+//!   if the journal stays unwritable the run **degrades to
+//!   checkpoint-less in-memory completion** with a recorded
+//!   [`Outcome::warnings`] entry instead of aborting — the journal keeps
+//!   its last committed state and remains resumable.
+//!
+//! The full failure taxonomy — compiler *verdict* vs backend *machinery
+//! error* vs worker *panic* vs *journal fault*, and which layer absorbs
+//! each — is laid out in `DESIGN.md` §11. Determinism is unchanged from
+//! §9: outputs are folded in fixed (file, shard) order whatever the
+//! completion order, so reports stay byte-identical across worker
+//! counts and kill/resume histories; the identity suites
+//! (`tests/backend_identity.rs`, `tests/checkpoint_resume.rs`) and the
+//! injected-fault suite (`tests/orchestrator_faults.rs`) pin all of it.
+
+use crate::checkpoint::{
+    encode_campaign_done, encode_job_done, encode_progress, CampaignStatus, CheckpointError,
+    CheckpointOptions, JobState,
+};
+use crate::steal::WorkQueue;
+use crate::{
+    degraded_finding, merge_outputs, panicked_finding, prepare_file, CampaignConfig,
+    CampaignReport, Oracle, ShardOutput,
+};
+use spe_corpus::TestFile;
+use spe_persist::{Journal, JournalError};
+use spe_simcc::backend::CompilerBackend;
+use std::any::Any;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// How the orchestrator responds to infrastructure faults — checkpoint
+/// cadence under slow oracles and retry/degradation behavior when the
+/// journal itself fails. Orthogonal to [`CheckpointOptions`], which
+/// describes *what* a checkpointed run records; this describes *how
+/// hard the orchestrator fights to record it*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Wall-clock checkpoint cadence: a job with uncommitted progress
+    /// older than this commits at the next variant boundary, even if
+    /// the count-based [`CheckpointOptions::every`] has not elapsed —
+    /// so slow-oracle campaigns lose bounded *time*, not unbounded
+    /// variant recomputation, to a crash. `None` disables the
+    /// time-based trigger (count-only cadence).
+    pub checkpoint_interval: Option<Duration>,
+    /// How many times a failed journal append is retried before the run
+    /// degrades to checkpoint-less completion.
+    pub max_append_retries: u32,
+    /// Backoff before the first retry; doubled per subsequent retry
+    /// (transient ENOSPC/EIO conditions — a log rotation, a burst of
+    /// writes — often clear within milliseconds).
+    pub retry_backoff: Duration,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            checkpoint_interval: Some(Duration::from_secs(5)),
+            max_append_retries: 4,
+            retry_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// What a supervised run produced: the campaign status plus every
+/// degradation the orchestrator absorbed instead of aborting on.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Completion or interruption, exactly as the thin wrappers return.
+    pub status: CampaignStatus,
+    /// Human-readable records of absorbed faults (e.g. checkpointing
+    /// disabled after exhausted journal retries). Empty on a clean run.
+    /// Deliberately *not* part of the [`CampaignReport`]: reports are
+    /// compared byte-for-byte across runs, and infrastructure weather
+    /// must never make two equal campaigns unequal.
+    pub warnings: Vec<String>,
+}
+
+impl Outcome {
+    /// The completed report, `None` when interrupted.
+    pub fn into_report(self) -> Option<CampaignReport> {
+        self.status.into_report()
+    }
+}
+
+/// Everything one supervised run needs. Borrowed, not owned: resume
+/// paths hand the manifest's corpus straight through without cloning.
+pub(crate) struct Spec<'a> {
+    pub(crate) files: &'a [TestFile],
+    pub(crate) config: &'a CampaignConfig,
+    /// Shards each file's variant space is cut into — fixed by the
+    /// journal manifest on resume, `workers` on fresh runs.
+    pub(crate) shards_per_file: usize,
+    /// Per-job replayed state: fresh defaults on a first run, the
+    /// journal's committed high-water marks and partial outputs on a
+    /// resume. Jobs marked done are not re-dealt.
+    pub(crate) jobs: Vec<JobState>,
+    pub(crate) workers: usize,
+    /// Count-based checkpoint cadence ([`CheckpointOptions::every`]).
+    pub(crate) every: u64,
+    /// Simulated-kill budget ([`CheckpointOptions::stop_after`]).
+    pub(crate) stop_after: Option<u64>,
+    /// The checkpoint sink; `None` runs the pool purely in memory.
+    pub(crate) journal: Option<Journal>,
+    pub(crate) oracle: Oracle<'a>,
+    pub(crate) policy: FaultPolicy,
+}
+
+/// The checkpoint sink: serializes journal appends, retries transient
+/// failures per the policy, and — when the journal stays unwritable —
+/// flips to degraded mode so the rest of the campaign completes in
+/// memory with a recorded warning.
+struct Sink<'a> {
+    journal: Option<Mutex<Journal>>,
+    degraded: AtomicBool,
+    policy: &'a FaultPolicy,
+    warnings: &'a Mutex<Vec<String>>,
+}
+
+impl Sink<'_> {
+    /// Whether appends currently reach the journal.
+    fn active(&self) -> bool {
+        self.journal.is_some() && !self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Appends one frame with bounded-backoff retry; on exhaustion,
+    /// degrades the sink (once, with a warning) instead of failing the
+    /// campaign.
+    fn append(&self, what: &str, payload: &[u8]) {
+        let Some(journal) = &self.journal else { return };
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut backoff = self.policy.retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            // Hold the journal lock only for the append itself; backoff
+            // sleeps must not serialize the other workers' commits.
+            let result = journal.lock().expect("poisoned").append(payload);
+            match result {
+                Ok(()) => return,
+                Err(e @ JournalError::Io { .. }) if attempt < self.policy.max_append_retries => {
+                    attempt += 1;
+                    let _ = e;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => {
+                    if !self.degraded.swap(true, Ordering::Relaxed) {
+                        self.warnings.lock().expect("poisoned").push(format!(
+                            "checkpointing disabled: {what} failed after {attempt} retries: {e}; \
+                             the campaign continues in memory and the journal stays resumable \
+                             at its last committed state"
+                        ));
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Commits a `Progress` frame for `[last mark, emitted)` — the
+    /// high-water mark plus exactly the candidates and counters of the
+    /// variants it covers, one atomic frame — then drains the delta
+    /// into the run's in-memory continuation. The drain happens whether
+    /// or not the append reached the journal: the report never depends
+    /// on checkpoint health.
+    fn commit(&self, job: usize, emitted: u64, delta: &mut ShardOutput, cont: &mut ShardOutput) {
+        if self.active() {
+            self.append("progress checkpoint", &encode_progress(job, emitted, delta));
+        }
+        cont.absorb(std::mem::take(delta));
+    }
+}
+
+/// Extracts a printable message from a [`catch_unwind`] payload.
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
+}
+
+/// The one supervised worker-pool/merge loop (`DESIGN.md` §11). Every
+/// public campaign entry point — parallel, checkpointed, resumed, with
+/// or without a backend — is a thin wrapper over this function.
+pub(crate) fn run(spec: Spec<'_>) -> Outcome {
+    let Spec {
+        files,
+        config,
+        shards_per_file,
+        jobs,
+        workers,
+        every,
+        stop_after,
+        journal,
+        oracle,
+        policy,
+    } = spec;
+    let every = every.max(1);
+    let pending: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].done).collect();
+    let queue = WorkQueue::new(pending, workers);
+    let warnings: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let sink = Sink {
+        journal: journal.map(Mutex::new),
+        degraded: AtomicBool::new(false),
+        policy: &policy,
+        warnings: &warnings,
+    };
+    let stop = AtomicBool::new(false);
+    let processed = AtomicU64::new(0);
+    // Continuations (outputs of this run) per job; folded with the
+    // replayed partials afterwards.
+    let continuations: Mutex<Vec<Option<ShardOutput>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    // Per-file skeleton + materialized variant space, computed once by
+    // whichever worker reaches the file first and shared by the rest.
+    let prepared: Vec<OnceLock<Option<(spe_core::Skeleton, spe_core::VariantSpace)>>> =
+        (0..files.len()).map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queue = &queue;
+            let sink = &sink;
+            let stop = &stop;
+            let processed = &processed;
+            let continuations = &continuations;
+            let prepared = &prepared;
+            let jobs = &jobs;
+            scope.spawn(move || {
+                let mut buf = String::new();
+                while let Some(i) = queue.pop(w) {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let (file_idx, shard) = (i / shards_per_file, i % shards_per_file);
+                    let file = &files[file_idx];
+                    let skip = jobs[i].emitted;
+                    let space = prepared[file_idx]
+                        .get_or_init(|| prepare_file(file, shards_per_file, config));
+                    // Output since the last committed checkpoint (the
+                    // journal delta) and since the start of this run
+                    // (the in-memory continuation).
+                    let mut delta = ShardOutput {
+                        file_processed: shard == 0 && space.is_some() && skip == 0,
+                        ..ShardOutput::default()
+                    };
+                    let mut cont = ShardOutput::default();
+                    let mut emitted = skip;
+                    let mut last_commit = skip;
+                    let mut last_commit_at = Instant::now();
+                    let mut killed = false;
+                    // Rollback point for panic isolation: `delta`'s
+                    // state after the last fully-processed variant (and
+                    // after any drain). A panic mid-variant truncates
+                    // back to it, so the quarantined job commits only
+                    // whole variants — deterministic under resume.
+                    let mut rollback = (0usize, 0u64, 0u64);
+                    let panic_payload = if let Some((sk, space)) = space {
+                        let enumerator = crate::campaign_enumerator(config, shards_per_file);
+                        catch_unwind(AssertUnwindSafe(|| {
+                            enumerator.enumerate_shard_resumed_prepared(
+                                space,
+                                shard,
+                                skip,
+                                &mut |variant| {
+                                    if stop.load(Ordering::Relaxed) {
+                                        killed = true;
+                                        return ControlFlow::Break(());
+                                    }
+                                    variant.render_into(sk, &mut buf);
+                                    if let Err(e) =
+                                        oracle.process_variant(file, &buf, config, &mut delta)
+                                    {
+                                        // Backend machinery failure:
+                                        // quarantine the job (degraded
+                                        // finding + JobDone below) and
+                                        // let the campaign continue.
+                                        delta.candidates.push(degraded_finding(
+                                            file, shard, &buf, config, &e,
+                                        ));
+                                        return ControlFlow::Break(());
+                                    }
+                                    emitted += 1;
+                                    rollback = (
+                                        delta.candidates.len(),
+                                        delta.variants_tested,
+                                        delta.variants_ub_skipped,
+                                    );
+                                    if let Some(limit) = stop_after {
+                                        if processed.fetch_add(1, Ordering::Relaxed) + 1 >= limit {
+                                            // Simulated kill: drop the
+                                            // uncommitted delta on the
+                                            // floor.
+                                            stop.store(true, Ordering::Relaxed);
+                                            killed = true;
+                                            return ControlFlow::Break(());
+                                        }
+                                    }
+                                    let count_due = emitted - last_commit >= every;
+                                    let time_due = emitted > last_commit
+                                        && sink.policy.checkpoint_interval.is_some_and(|interval| {
+                                            last_commit_at.elapsed() >= interval
+                                        });
+                                    if count_due || time_due {
+                                        sink.commit(i, emitted, &mut delta, &mut cont);
+                                        last_commit = emitted;
+                                        last_commit_at = Instant::now();
+                                        rollback = (0, 0, 0);
+                                    }
+                                    ControlFlow::Continue(())
+                                },
+                            );
+                        }))
+                        .err()
+                    } else {
+                        None
+                    };
+                    if let Some(payload) = panic_payload {
+                        // Roll back any half-processed variant, then
+                        // quarantine: the panic marker is committed with
+                        // the job's completion record, so a resume skips
+                        // this job instead of re-tripping the panic.
+                        delta.candidates.truncate(rollback.0);
+                        delta.variants_tested = rollback.1;
+                        delta.variants_ub_skipped = rollback.2;
+                        delta.candidates.push(panicked_finding(
+                            file,
+                            shard,
+                            &buf,
+                            config,
+                            panic_message(payload.as_ref()),
+                        ));
+                    }
+                    if killed {
+                        return;
+                    }
+                    // Commit the tail delta (skipped when nothing
+                    // accrued since the last checkpoint — an empty
+                    // `Progress` replays as a no-op, so eliding it saves
+                    // an fsync without changing resume semantics) and
+                    // the job's completion.
+                    let dirty = emitted != last_commit
+                        || delta.file_processed
+                        || delta.variants_tested != 0
+                        || !delta.candidates.is_empty();
+                    if dirty {
+                        sink.commit(i, emitted, &mut delta, &mut cont);
+                    }
+                    sink.append("job completion record", &encode_job_done(i));
+                    continuations.lock().expect("poisoned")[i] = Some(cont);
+                }
+            });
+        }
+    });
+    if stop.load(Ordering::Relaxed) {
+        return Outcome {
+            status: CampaignStatus::Interrupted,
+            warnings: warnings.into_inner().expect("poisoned"),
+        };
+    }
+    sink.append("campaign completion record", &encode_campaign_done());
+    let continuations = continuations.into_inner().expect("poisoned");
+    let outputs = jobs
+        .into_iter()
+        .zip(continuations)
+        .map(|(job, cont)| {
+            let mut out = job.partial;
+            if let Some(cont) = cont {
+                out.absorb(cont);
+            }
+            out
+        })
+        .collect();
+    Outcome {
+        status: CampaignStatus::Complete(merge_outputs(outputs)),
+        warnings: warnings.into_inner().expect("poisoned"),
+    }
+}
+
+/// A supervised in-memory campaign: [`crate::run_campaign_parallel`]
+/// with the [`Outcome`] (and its absorbed-fault warnings) exposed.
+/// Always completes — there is no checkpoint sink to fail and no
+/// simulated-kill budget.
+pub fn campaign(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    policy: &FaultPolicy,
+) -> Outcome {
+    campaign_oracle(files, config, workers, Oracle::Direct, *policy)
+}
+
+/// [`campaign`] with the oracle dispatched through a
+/// [`CompilerBackend`].
+pub fn campaign_with_backend(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    backend: &dyn CompilerBackend,
+    workers: usize,
+    policy: &FaultPolicy,
+) -> Outcome {
+    campaign_oracle(files, config, workers, Oracle::Backend(backend), *policy)
+}
+
+pub(crate) fn campaign_oracle(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    oracle: Oracle<'_>,
+    policy: FaultPolicy,
+) -> Outcome {
+    let workers = workers.max(1);
+    run(Spec {
+        files,
+        config,
+        shards_per_file: workers,
+        jobs: (0..files.len() * workers).map(|_| JobState::default()).collect(),
+        workers,
+        every: u64::MAX,
+        stop_after: None,
+        journal: None,
+        oracle,
+        policy,
+    })
+}
+
+/// A supervised checkpointed campaign:
+/// [`crate::checkpoint::run_campaign_checkpointed`] with an explicit
+/// [`FaultPolicy`] and the [`Outcome`] exposed.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::Journal`] when the journal cannot be
+/// *created*. Append failures after that no longer abort the run — they
+/// degrade it (see [`FaultPolicy`]).
+pub fn campaign_checkpointed(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: impl AsRef<Path>,
+    options: &CheckpointOptions,
+    policy: &FaultPolicy,
+) -> Result<Outcome, CheckpointError> {
+    crate::checkpoint::run_checkpointed_supervised(
+        files,
+        config,
+        workers,
+        path.as_ref(),
+        options,
+        Oracle::Direct,
+        *policy,
+    )
+}
+
+/// [`campaign_checkpointed`] with the oracle dispatched through a
+/// [`CompilerBackend`].
+///
+/// # Errors
+///
+/// As [`campaign_checkpointed`].
+pub fn campaign_checkpointed_with_backend(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: impl AsRef<Path>,
+    options: &CheckpointOptions,
+    backend: &dyn CompilerBackend,
+    policy: &FaultPolicy,
+) -> Result<Outcome, CheckpointError> {
+    crate::checkpoint::run_checkpointed_supervised(
+        files,
+        config,
+        workers,
+        path.as_ref(),
+        options,
+        Oracle::Backend(backend),
+        *policy,
+    )
+}
+
+/// A supervised resume: [`crate::checkpoint::resume_campaign`] with an
+/// explicit [`FaultPolicy`] and the [`Outcome`] exposed. The journal is
+/// replayed **streamingly** ([`spe_persist::JournalIter`]) — resume
+/// memory is bounded by the live per-job state, not the journal size.
+///
+/// # Errors
+///
+/// As [`crate::checkpoint::resume_campaign`].
+pub fn resume(
+    path: impl AsRef<Path>,
+    workers: usize,
+    options: &CheckpointOptions,
+    policy: &FaultPolicy,
+) -> Result<Outcome, CheckpointError> {
+    crate::checkpoint::resume_supervised(path.as_ref(), workers, options, Oracle::Direct, *policy)
+}
+
+/// [`resume`] for journals recorded under a [`CompilerBackend`]; the
+/// backend must match the manifest's recorded identity or the resume is
+/// refused.
+///
+/// # Errors
+///
+/// As [`crate::checkpoint::resume_campaign_with_backend`].
+pub fn resume_with_backend(
+    path: impl AsRef<Path>,
+    backend: &dyn CompilerBackend,
+    workers: usize,
+    options: &CheckpointOptions,
+    policy: &FaultPolicy,
+) -> Result<Outcome, CheckpointError> {
+    crate::checkpoint::resume_supervised(
+        path.as_ref(),
+        workers,
+        options,
+        Oracle::Backend(backend),
+        *policy,
+    )
+}

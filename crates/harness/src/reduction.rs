@@ -112,9 +112,10 @@ fn verdict_matches(finding: &Finding, obs: &Observation) -> bool {
                     None => obs.miscompiled_by.is_empty(),
                 }
         }
-        // A quarantine marker records backend machinery failing on a
-        // variant, not a compiler verdict: no observation certifies it.
-        FindingKind::BackendDegraded => false,
+        // Quarantine markers record infrastructure failing on a variant
+        // (backend machinery, or a panicking worker), not a compiler
+        // verdict: no observation certifies them.
+        FindingKind::BackendDegraded | FindingKind::JobPanicked => false,
     }
 }
 
@@ -161,6 +162,7 @@ fn trigger_signature(finding: &Finding, p: &Program, fuel: u64, oracle: Oracle<'
             FindingKind::WrongCode => obs.divergence.map_or("wrong-code", Divergence::label),
             FindingKind::Performance => "slow-compile",
             FindingKind::BackendDegraded => "backend-degraded",
+            FindingKind::JobPanicked => "job-panicked",
         },
         // Backend machinery failed on the final witness; the class is
         // unknown, and an unknown class must never fold with a known one.
@@ -172,15 +174,19 @@ fn trigger_signature(finding: &Finding, p: &Program, fuel: u64, oracle: Oracle<'
 /// Reduces one finding's reproducer; `None` when the reproducer does not
 /// reproduce under re-check (never the case for campaign-produced
 /// findings), fails to parse, or the finding is a
-/// [`FindingKind::BackendDegraded`] quarantine marker (its "reproducer"
-/// is the variant the backend failed on — there is no verdict to
-/// preserve, so nothing to reduce).
+/// [`FindingKind::BackendDegraded`] / [`FindingKind::JobPanicked`]
+/// quarantine marker (its "reproducer" is the variant the
+/// infrastructure failed on — there is no verdict to preserve, so
+/// nothing to reduce).
 pub(crate) fn reduce_one_oracle(
     finding: &Finding,
     options: &ReductionOptions,
     oracle: Oracle<'_>,
 ) -> Option<ReducedWitness> {
-    if finding.kind == FindingKind::BackendDegraded {
+    if matches!(
+        finding.kind,
+        FindingKind::BackendDegraded | FindingKind::JobPanicked
+    ) {
         return None;
     }
     let mut pred = |p: &Program| reproduces_oracle(finding, p, options.fuel, oracle);
@@ -194,6 +200,33 @@ pub(crate) fn reduce_one_oracle(
         reduced_bytes: reduction.reduced_bytes,
         oracle_calls: reduction.oracle_calls,
     })
+}
+
+/// [`reduce_one_oracle`] under panic isolation: a reducer (or oracle)
+/// panic on one malformed finding records that finding as irreducible
+/// with a stderr warning instead of killing the whole fan-out
+/// (`DESIGN.md` §11). Deterministic — a given finding either always
+/// panics or never does — so reports stay byte-identical across worker
+/// counts and kill/resume histories.
+pub(crate) fn reduce_one_isolated(
+    finding: &Finding,
+    options: &ReductionOptions,
+    oracle: Oracle<'_>,
+) -> Option<ReducedWitness> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        reduce_one_oracle(finding, options, oracle)
+    })) {
+        Ok(witness) => witness,
+        Err(payload) => {
+            eprintln!(
+                "spe-harness: warning: reduction of finding {:?} panicked ({}); \
+                 recording it as irreducible and continuing",
+                finding.signature,
+                crate::orchestrate::panic_message(payload.as_ref())
+            );
+            None
+        }
+    }
 }
 
 /// Runs the reduction stage over every finding of `report`, fanning jobs
@@ -234,7 +267,7 @@ fn reduce_findings_oracle(
     if workers == 1 {
         let mut slots = slots.lock().expect("poisoned");
         for (i, f) in report.findings.iter().enumerate() {
-            slots[i] = reduce_one_oracle(f, options, oracle);
+            slots[i] = reduce_one_isolated(f, options, oracle);
         }
         drop(slots);
     } else {
@@ -248,7 +281,7 @@ fn reduce_findings_oracle(
                     while let Some(i) = queue.pop(w) {
                         // Reduction is a pure function of the finding, so
                         // completion order cannot affect the report.
-                        let witness = reduce_one_oracle(&findings[i], options, oracle);
+                        let witness = reduce_one_isolated(&findings[i], options, oracle);
                         slots.lock().expect("poisoned")[i] = witness;
                     }
                 });

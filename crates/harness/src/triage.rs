@@ -38,7 +38,12 @@ pub fn table4(report: &CampaignReport, families: &[&str]) -> Vec<Table4Row> {
             // not compiler bug reports: Table 4 counts only verdicts.
             let findings: Vec<&Finding> = report
                 .for_family(family)
-                .filter(|f| f.kind != FindingKind::BackendDegraded)
+                .filter(|f| {
+                    !matches!(
+                        f.kind,
+                        FindingKind::BackendDegraded | FindingKind::JobPanicked
+                    )
+                })
                 .collect();
             let fixed = findings
                 .iter()
@@ -232,6 +237,29 @@ mod tests {
             table4(&report, &["gcc-sim", "clang-sim"]),
             before,
             "quarantine markers are not bug reports"
+        );
+    }
+
+    #[test]
+    fn table4_ignores_panicked_jobs() {
+        let mut report = campaign();
+        let before = table4(&report, &["gcc-sim", "clang-sim"]);
+        report.findings.push(Finding {
+            kind: FindingKind::JobPanicked,
+            compiler: CompilerId::gcc(700),
+            opt: 0,
+            signature: "job panicked: x.c shard 2: index out of bounds".to_string(),
+            bug_id: None,
+            file: "x.c".to_string(),
+            reproducer: "int main() { return 0; }".to_string(),
+            duplicate_of: None,
+            reduced: None,
+            fingerprint_duplicate_of: None,
+        });
+        assert_eq!(
+            table4(&report, &["gcc-sim", "clang-sim"]),
+            before,
+            "panic quarantine markers are not bug reports"
         );
     }
 

@@ -16,14 +16,25 @@
 //!    can only damage the tail;
 //! 2. **Framing**: a torn tail (partial frame header, short payload, or
 //!    checksum mismatch) is detected on read and dropped — the valid
-//!    prefix is returned with [`JournalContents::truncated_tail`] set;
+//!    prefix is returned with [`JournalContents::truncated_tail`] set,
+//!    and the drop point is triaged as a [`TailCorruption`] carrying
+//!    the frame's byte offset and the reason its validation failed;
 //! 3. **Durability**: [`Journal::append`] flushes and fsyncs before
 //!    returning, so an acknowledged record survives power loss.
+//!
+//! Two readers exist. [`JournalReader::read`] materializes the whole
+//! valid prefix — convenient for small journals and tests.
+//! [`JournalIter`] **streams** one frame at a time, so replaying a
+//! multi-GB campaign journal needs memory proportional to the largest
+//! frame (plus whatever live state the caller folds records into), not
+//! to the journal; `spe_harness::checkpoint` resumes through it, and
+//! journal compaction (`DESIGN.md` §11) rewrites through it combined
+//! with [`promote`]'s write-new → fsync → atomic-rename sequence.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 
 /// Magic prefix of every journal file; the final byte is the format
 /// version.
@@ -45,41 +56,135 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Errors of journal creation, appending and reading.
+/// Errors of journal creation, appending and reading. Every variant
+/// names the journal file it concerns, and I/O failures additionally
+/// carry the operation that failed — a campaign that degrades or aborts
+/// over a journal fault must be diagnosable from the error text alone.
 #[derive(Debug)]
 pub enum JournalError {
-    /// An I/O error from the filesystem.
-    Io(io::Error),
+    /// An I/O error from the filesystem, tagged with the operation
+    /// (`"create"`, `"append"`, `"fsync"`, `"read"`, ...) and path.
+    Io {
+        /// What the journal was doing when the filesystem failed.
+        op: &'static str,
+        /// The journal (or directory) the operation targeted.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
     /// The file does not start with the journal magic (wrong file, or a
     /// journal of an incompatible format version).
-    BadMagic,
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+    },
     /// The file ends before a complete header frame — created by a crash
     /// during [`Journal::create`]; there is no state to resume from.
-    NoHeader,
+    NoHeader {
+        /// The offending file.
+        path: PathBuf,
+    },
     /// Another process (or another `Journal` in this process) holds the
     /// journal open for appending. Writers take an exclusive OS-level
     /// file lock: two concurrent resumes of one campaign would otherwise
     /// interleave individually-valid frames and silently double-count
     /// work on replay.
-    Busy,
+    Busy {
+        /// The locked journal.
+        path: PathBuf,
+    },
+}
+
+impl JournalError {
+    fn io(op: &'static str, path: &Path, source: io::Error) -> JournalError {
+        JournalError::Io {
+            op,
+            path: path.to_path_buf(),
+            source,
+        }
+    }
 }
 
 impl fmt::Display for JournalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            JournalError::Io(e) => write!(f, "journal i/o error: {e}"),
-            JournalError::BadMagic => write!(f, "not a journal (bad magic or version)"),
-            JournalError::NoHeader => write!(f, "journal has no complete header frame"),
-            JournalError::Busy => write!(f, "journal is locked by another writer"),
+            JournalError::Io { op, path, source } => {
+                write!(f, "journal {op} failed on {}: {source}", path.display())
+            }
+            JournalError::BadMagic { path } => write!(
+                f,
+                "{} is not a journal (bad magic or version)",
+                path.display()
+            ),
+            JournalError::NoHeader { path } => {
+                write!(f, "journal {} has no complete header frame", path.display())
+            }
+            JournalError::Busy { path } => {
+                write!(f, "journal {} is locked by another writer", path.display())
+            }
         }
     }
 }
 
-impl std::error::Error for JournalError {}
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
-impl From<io::Error> for JournalError {
-    fn from(e: io::Error) -> JournalError {
-        JournalError::Io(e)
+/// Test-only fault injection for journal appends.
+///
+/// The fault-injection suites (`tests/orchestrator_faults.rs`, this
+/// crate's own corruption tests) must provoke `ENOSPC`/`EIO`-style
+/// append failures deterministically, which no real filesystem does on
+/// cue. An injection arms the **next `count` appends whose journal path
+/// contains `path_contains`** to fail with the given OS error before
+/// touching the file — the journal's committed prefix is untouched,
+/// exactly like a real failed write. Scoping by path substring keeps
+/// concurrently running tests (one process, many journals) from
+/// consuming each other's faults.
+#[doc(hidden)]
+pub mod faults {
+    use std::io;
+    use std::path::Path;
+    use std::sync::Mutex;
+
+    struct Injection {
+        path_contains: String,
+        remaining: u32,
+        errno: i32,
+    }
+
+    static INJECTED: Mutex<Vec<Injection>> = Mutex::new(Vec::new());
+
+    /// Arms `count` append failures (OS error `errno`, e.g. 5 = EIO,
+    /// 28 = ENOSPC) for journals whose path contains `path_contains`.
+    pub fn inject_append_failures(path_contains: &str, count: u32, errno: i32) {
+        INJECTED.lock().expect("poisoned").push(Injection {
+            path_contains: path_contains.to_string(),
+            remaining: count,
+            errno,
+        });
+    }
+
+    /// Disarms every injection.
+    pub fn clear() {
+        INJECTED.lock().expect("poisoned").clear();
+    }
+
+    pub(crate) fn take(path: &Path) -> Option<io::Error> {
+        let mut injected = INJECTED.lock().expect("poisoned");
+        let path = path.to_string_lossy();
+        for inj in injected.iter_mut() {
+            if inj.remaining > 0 && path.contains(&inj.path_contains) {
+                inj.remaining -= 1;
+                return Some(io::Error::from_raw_os_error(inj.errno));
+            }
+        }
+        None
     }
 }
 
@@ -87,6 +192,7 @@ impl From<io::Error> for JournalError {
 #[derive(Debug)]
 pub struct Journal {
     file: File,
+    path: PathBuf,
 }
 
 impl Journal {
@@ -96,7 +202,7 @@ impl Journal {
     /// # Errors
     ///
     /// Returns [`JournalError::Io`] when the file cannot be created or
-    /// written.
+    /// written, [`JournalError::Busy`] when another writer holds it.
     pub fn create(path: impl AsRef<Path>, header: &[u8]) -> Result<Journal, JournalError> {
         let path = path.as_ref();
         // Open *without* truncating, take the writer lock, and only then
@@ -108,26 +214,25 @@ impl Journal {
             .create(true)
             .write(true)
             .truncate(false)
-            .open(path)?;
-        lock_exclusive(&file)?;
-        file.set_len(0)?;
-        file.write_all(&MAGIC)?;
-        write_frame(&mut file, header)?;
-        file.sync_all()?;
+            .open(path)
+            .map_err(|e| JournalError::io("create", path, e))?;
+        lock_exclusive(&file, path)?;
+        file.set_len(0)
+            .map_err(|e| JournalError::io("truncate", path, e))?;
+        file.write_all(&MAGIC)
+            .map_err(|e| JournalError::io("write magic", path, e))?;
+        write_frame(&mut file, header).map_err(|e| JournalError::io("write header", path, e))?;
+        file.sync_all()
+            .map_err(|e| JournalError::io("fsync", path, e))?;
         // Durability of the file itself, not just its contents: fsync
         // the parent directory so the new entry survives power loss
         // (without this, acknowledged appends can land in a file the
         // directory no longer names after a crash).
-        #[cfg(unix)]
-        if let Some(parent) = path.parent() {
-            let dir = if parent.as_os_str().is_empty() {
-                Path::new(".")
-            } else {
-                parent
-            };
-            File::open(dir)?.sync_all()?;
-        }
-        Ok(Journal { file })
+        sync_parent_dir(path)?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
     }
 
     /// Opens an existing journal for appending. The file is first scanned
@@ -138,36 +243,49 @@ impl Journal {
     /// # Errors
     ///
     /// Returns [`JournalError::BadMagic`] / [`JournalError::NoHeader`]
-    /// when the file is not a resumable journal, or
-    /// [`JournalError::Io`] on filesystem failure.
+    /// when the file is not a resumable journal, [`JournalError::Busy`]
+    /// when another writer holds it, or [`JournalError::Io`] on
+    /// filesystem failure.
     pub fn open_append(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
-        let path = path.as_ref();
-        let contents = JournalReader::read(path)?;
-        Journal::open_append_with(path, &contents)
+        let mut iter = JournalIter::open_locked(path.as_ref())?;
+        for record in &mut iter {
+            record?; // scan to the end of the valid prefix
+        }
+        iter.into_appender()
     }
 
     /// [`Journal::open_append`] for a journal the caller has **already
     /// read**: trusts `contents` for the valid-prefix length instead of
-    /// re-scanning and re-checksumming the file — resume paths, which
-    /// must read the journal to replay it anyway, open for append in one
-    /// scan instead of two.
+    /// re-scanning and re-checksumming the file.
     ///
     /// # Errors
     ///
     /// Returns [`JournalError::Io`] when the file cannot be opened,
-    /// truncated, or positioned.
+    /// truncated, or positioned, [`JournalError::Busy`] when another
+    /// writer holds it.
     pub fn open_append_with(
         path: impl AsRef<Path>,
         contents: &JournalContents,
     ) -> Result<Journal, JournalError> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        lock_exclusive(&file)?;
+        let path = path.as_ref();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| JournalError::io("open", path, e))?;
+        lock_exclusive(&file, path)?;
         if contents.truncated_tail {
-            file.set_len(contents.valid_len)?;
-            file.sync_all()?;
+            file.set_len(contents.valid_len)
+                .map_err(|e| JournalError::io("truncate torn tail", path, e))?;
+            file.sync_all()
+                .map_err(|e| JournalError::io("fsync", path, e))?;
         }
-        file.seek(SeekFrom::Start(contents.valid_len))?;
-        Ok(Journal { file })
+        file.seek(SeekFrom::Start(contents.valid_len))
+            .map_err(|e| JournalError::io("seek", path, e))?;
+        Ok(Journal {
+            file,
+            path: path.to_path_buf(),
+        })
     }
 
     /// Appends one record frame, flushed and fsync'd before returning —
@@ -179,10 +297,61 @@ impl Journal {
     /// journal's committed prefix is unaffected (a partial frame at the
     /// tail is dropped on the next read).
     pub fn append(&mut self, payload: &[u8]) -> Result<(), JournalError> {
-        write_frame(&mut self.file, payload)?;
-        self.file.sync_data()?;
+        if let Some(injected) = faults::take(&self.path) {
+            return Err(JournalError::io("append", &self.path, injected));
+        }
+        write_frame(&mut self.file, payload)
+            .map_err(|e| JournalError::io("append", &self.path, e))?;
+        self.file
+            .sync_data()
+            .map_err(|e| JournalError::io("fsync", &self.path, e))?;
         Ok(())
     }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Atomically replaces the journal at `dst` with the one at `tmp`:
+/// fsync `tmp`'s contents, `rename(tmp, dst)` (atomic on POSIX — at
+/// every instant `dst` names either the complete old journal or the
+/// complete new one, never a mixture), then fsync the parent directory
+/// so the rename itself survives power loss.
+///
+/// This is the commit point of journal compaction (`DESIGN.md` §11): a
+/// crash before the rename leaves the original journal untouched (plus
+/// a stray `tmp`, overwritten by the next compaction); a crash after it
+/// leaves the compacted journal. Both are valid, resumable states.
+///
+/// # Errors
+///
+/// Returns [`JournalError::Io`] naming the failing operation and path.
+pub fn promote(tmp: impl AsRef<Path>, dst: impl AsRef<Path>) -> Result<(), JournalError> {
+    let (tmp, dst) = (tmp.as_ref(), dst.as_ref());
+    File::open(tmp)
+        .and_then(|f| f.sync_all())
+        .map_err(|e| JournalError::io("fsync before promote", tmp, e))?;
+    std::fs::rename(tmp, dst).map_err(|e| JournalError::io("promote rename", dst, e))?;
+    sync_parent_dir(dst)
+}
+
+/// Fsyncs `path`'s parent directory (unix only) so directory-entry
+/// changes — creation, rename — survive power loss.
+fn sync_parent_dir(path: &Path) -> Result<(), JournalError> {
+    #[cfg(unix)]
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        };
+        File::open(dir)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| JournalError::io("fsync parent dir", dir, e))?;
+    }
+    Ok(())
 }
 
 /// Takes the writer's exclusive advisory lock on the journal file; held
@@ -190,10 +359,12 @@ impl Journal {
 /// resumes of one campaign from two processes, say — fails fast with
 /// [`JournalError::Busy`] instead of interleaving frames that would
 /// silently double-count work on replay.
-fn lock_exclusive(file: &File) -> Result<(), JournalError> {
+fn lock_exclusive(file: &File, path: &Path) -> Result<(), JournalError> {
     file.try_lock().map_err(|e| match e {
-        std::fs::TryLockError::WouldBlock => JournalError::Busy,
-        std::fs::TryLockError::Error(e) => JournalError::Io(e),
+        std::fs::TryLockError::WouldBlock => JournalError::Busy {
+            path: path.to_path_buf(),
+        },
+        std::fs::TryLockError::Error(e) => JournalError::io("lock", path, e),
     })
 }
 
@@ -207,6 +378,324 @@ fn write_frame(file: &mut File, payload: &[u8]) -> io::Result<()> {
     frame.extend_from_slice(&fnv1a(payload).to_le_bytes());
     frame.extend_from_slice(payload);
     file.write_all(&frame)
+}
+
+/// Why the first invalid frame of a journal tail failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionReason {
+    /// Fewer than 12 bytes remained — a frame header torn mid-write.
+    TruncatedHeader,
+    /// The length field exceeds the 1 GiB frame cap — a corrupted (or
+    /// bit-flipped) header read as an absurd length.
+    OversizedLength(u32),
+    /// The header promised more payload bytes than the file holds — a
+    /// payload torn mid-write.
+    TruncatedPayload,
+    /// The payload's FNV-1a hash does not match the frame header — a
+    /// bit flip (in payload or header) inside a fully-written frame.
+    ChecksumMismatch,
+}
+
+impl fmt::Display for CorruptionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionReason::TruncatedHeader => write!(f, "torn frame header"),
+            CorruptionReason::OversizedLength(len) => {
+                write!(f, "frame length {len} exceeds the payload cap")
+            }
+            CorruptionReason::TruncatedPayload => write!(f, "torn frame payload"),
+            CorruptionReason::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+        }
+    }
+}
+
+/// Triage of the point where a journal stopped validating: the byte
+/// offset of the first invalid frame and the reason it failed. A torn
+/// tail from a crash shows up as `TruncatedHeader`/`TruncatedPayload`
+/// at the end of the file; a mid-journal bit flip shows up as
+/// `ChecksumMismatch` (or `OversizedLength`) with everything after the
+/// flipped frame dropped — either way the valid prefix is a consistent
+/// state, and the offset tells an operator *where* the damage starts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailCorruption {
+    /// Byte offset of the first invalid frame (= the valid prefix
+    /// length).
+    pub offset: u64,
+    /// Why that frame failed validation.
+    pub reason: CorruptionReason,
+}
+
+impl fmt::Display for TailCorruption {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte offset {}", self.reason, self.offset)
+    }
+}
+
+/// A streaming journal reader: yields one record frame at a time, so
+/// replay memory is bounded by the largest single frame (plus the live
+/// state the caller accumulates), never by journal size.
+///
+/// Iteration ends at the first invalid frame; [`JournalIter::corruption`]
+/// then triages it (offset + reason), and
+/// [`JournalIter::truncated_tail`] reports whether any bytes were
+/// dropped. [`JournalIter::open_locked`] additionally takes the writer's
+/// exclusive lock up front, and [`JournalIter::into_appender`] converts
+/// the exhausted iterator into an appending [`Journal`] positioned at
+/// the valid prefix — the resume paths in `spe_harness::checkpoint`
+/// lock, replay, truncate, and append in **one streaming pass**.
+///
+/// # Examples
+///
+/// ```
+/// use spe_persist::journal::{Journal, JournalIter};
+///
+/// let dir = std::env::temp_dir().join(format!("spe-journal-iter-doc-{}", std::process::id()));
+/// std::fs::create_dir_all(&dir)?;
+/// let path = dir.join("stream.journal");
+/// let mut j = Journal::create(&path, b"manifest")?;
+/// j.append(b"one")?;
+/// j.append(b"two")?;
+/// drop(j);
+///
+/// let mut iter = JournalIter::open(&path)?;
+/// assert_eq!(iter.header(), b"manifest");
+/// let records: Vec<Vec<u8>> = (&mut iter).collect::<Result<_, _>>()?;
+/// assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+/// assert!(!iter.truncated_tail());
+/// assert!(iter.corruption().is_none());
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct JournalIter {
+    reader: BufReader<File>,
+    path: PathBuf,
+    header: Vec<u8>,
+    /// Offset just past the last valid frame read so far.
+    valid_len: u64,
+    file_len: u64,
+    corruption: Option<TailCorruption>,
+    fused: bool,
+    locked: bool,
+}
+
+impl JournalIter {
+    /// Opens the journal read-only (no writer lock) and validates the
+    /// magic and header frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::BadMagic`] / [`JournalError::NoHeader`]
+    /// when the file is not a journal, [`JournalError::Io`] on read
+    /// failure.
+    pub fn open(path: impl AsRef<Path>) -> Result<JournalIter, JournalError> {
+        JournalIter::open_inner(path.as_ref(), false)
+    }
+
+    /// As [`JournalIter::open`], additionally taking the writer's
+    /// exclusive lock for the iterator's lifetime — use when the scan
+    /// precedes appending ([`JournalIter::into_appender`]) or a
+    /// compaction rewrite, so no concurrent writer can extend the file
+    /// between scan and write.
+    ///
+    /// # Errors
+    ///
+    /// As [`JournalIter::open`], plus [`JournalError::Busy`] when
+    /// another writer holds the journal.
+    pub fn open_locked(path: impl AsRef<Path>) -> Result<JournalIter, JournalError> {
+        JournalIter::open_inner(path.as_ref(), true)
+    }
+
+    fn open_inner(path: &Path, locked: bool) -> Result<JournalIter, JournalError> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(locked)
+            .open(path)
+            .map_err(|e| JournalError::io("open", path, e))?;
+        if locked {
+            lock_exclusive(&file, path)?;
+        }
+        let file_len = file
+            .metadata()
+            .map_err(|e| JournalError::io("stat", path, e))?
+            .len();
+        let mut reader = BufReader::new(file);
+        let mut magic = [0u8; 8];
+        match reader.read_exact(&mut magic) {
+            Ok(()) if magic == MAGIC => {}
+            Ok(()) => {
+                return Err(JournalError::BadMagic {
+                    path: path.to_path_buf(),
+                })
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Err(JournalError::BadMagic {
+                    path: path.to_path_buf(),
+                })
+            }
+            Err(e) => return Err(JournalError::io("read magic", path, e)),
+        }
+        let mut iter = JournalIter {
+            reader,
+            path: path.to_path_buf(),
+            header: Vec::new(),
+            valid_len: MAGIC.len() as u64,
+            file_len,
+            corruption: None,
+            fused: false,
+            locked,
+        };
+        match iter.read_frame() {
+            Ok(Some(header)) => {
+                iter.header = header;
+                Ok(iter)
+            }
+            Ok(None) => Err(JournalError::NoHeader {
+                path: path.to_path_buf(),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The header frame's payload.
+    pub fn header(&self) -> &[u8] {
+        &self.header
+    }
+
+    /// Byte length of the valid prefix scanned so far (final once the
+    /// iterator is exhausted).
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// Whether bytes past the valid prefix will be (or were) dropped.
+    /// Meaningful once the iterator is exhausted.
+    pub fn truncated_tail(&self) -> bool {
+        self.valid_len < self.file_len
+    }
+
+    /// Triage of the first invalid frame, if iteration stopped on one:
+    /// its byte offset and the validation that failed. `None` while
+    /// frames remain or when the journal ended cleanly on a frame
+    /// boundary.
+    pub fn corruption(&self) -> Option<&TailCorruption> {
+        self.corruption.as_ref()
+    }
+
+    /// Converts an **exhausted, [`JournalIter::open_locked`]** iterator
+    /// into an appending [`Journal`]: any invalid tail is physically
+    /// truncated and the write position set to the valid prefix — the
+    /// lock taken at open is carried over, so no other writer can have
+    /// slipped in between scan and append.
+    ///
+    /// Remaining unread frames are drained (and validated) first, so
+    /// calling this early cannot truncate valid records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JournalError::Io`] when draining, truncating, or
+    /// seeking fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator was opened without the lock
+    /// ([`JournalIter::open`]) — appending without the scan-time lock
+    /// could truncate frames a concurrent writer committed.
+    pub fn into_appender(mut self) -> Result<Journal, JournalError> {
+        assert!(
+            self.locked,
+            "into_appender requires JournalIter::open_locked"
+        );
+        for record in &mut self {
+            record?;
+        }
+        let path = self.path;
+        let mut file = self.reader.into_inner();
+        if self.valid_len < self.file_len {
+            file.set_len(self.valid_len)
+                .map_err(|e| JournalError::io("truncate torn tail", &path, e))?;
+            file.sync_all()
+                .map_err(|e| JournalError::io("fsync", &path, e))?;
+        }
+        file.seek(SeekFrom::Start(self.valid_len))
+            .map_err(|e| JournalError::io("seek", &path, e))?;
+        Ok(Journal { file, path })
+    }
+
+    /// Reads and validates the frame at the current position. `Ok(None)`
+    /// when no further valid frame exists (clean end or corruption —
+    /// the latter recorded in `self.corruption`).
+    fn read_frame(&mut self) -> Result<Option<Vec<u8>>, JournalError> {
+        let mut header = [0u8; FRAME_HEADER];
+        let mut got = 0usize;
+        while got < header.len() {
+            match self.reader.read(&mut header[got..]) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(JournalError::io("read frame header", &self.path, e)),
+            }
+        }
+        if got < header.len() {
+            if got > 0 || self.valid_len < self.file_len {
+                self.corruption = Some(TailCorruption {
+                    offset: self.valid_len,
+                    reason: CorruptionReason::TruncatedHeader,
+                });
+            }
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            self.corruption = Some(TailCorruption {
+                offset: self.valid_len,
+                reason: CorruptionReason::OversizedLength(len),
+            });
+            return Ok(None);
+        }
+        let checksum = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let mut payload = vec![0u8; len as usize];
+        if let Err(e) = self.reader.read_exact(&mut payload) {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                self.corruption = Some(TailCorruption {
+                    offset: self.valid_len,
+                    reason: CorruptionReason::TruncatedPayload,
+                });
+                return Ok(None);
+            }
+            return Err(JournalError::io("read frame payload", &self.path, e));
+        }
+        if fnv1a(&payload) != checksum {
+            self.corruption = Some(TailCorruption {
+                offset: self.valid_len,
+                reason: CorruptionReason::ChecksumMismatch,
+            });
+            return Ok(None);
+        }
+        self.valid_len += (FRAME_HEADER + payload.len()) as u64;
+        Ok(Some(payload))
+    }
+}
+
+impl Iterator for JournalIter {
+    type Item = Result<Vec<u8>, JournalError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.fused {
+            return None;
+        }
+        match self.read_frame() {
+            Ok(Some(payload)) => Some(Ok(payload)),
+            Ok(None) => {
+                self.fused = true;
+                None
+            }
+            Err(e) => {
+                self.fused = true;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 /// The decoded contents of a journal file: its valid prefix.
@@ -223,7 +712,9 @@ pub struct JournalContents {
     pub valid_len: u64,
 }
 
-/// Reads journal files.
+/// Reads journal files by materializing the whole valid prefix. For
+/// journals whose size may exceed memory, stream through
+/// [`JournalIter`] instead.
 #[derive(Debug)]
 pub struct JournalReader;
 
@@ -243,54 +734,18 @@ impl JournalReader {
     /// version mismatches, [`JournalError::NoHeader`] when no complete
     /// header frame exists, or [`JournalError::Io`] on read failure.
     pub fn read(path: impl AsRef<Path>) -> Result<JournalContents, JournalError> {
-        let mut bytes = Vec::new();
-        File::open(path)?.read_to_end(&mut bytes)?;
-        if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
-            return Err(JournalError::BadMagic);
-        }
-        let mut pos = MAGIC.len();
-        let header = match next_frame(&bytes, &mut pos) {
-            Some(h) => h.to_vec(),
-            None => return Err(JournalError::NoHeader),
-        };
+        let mut iter = JournalIter::open(path)?;
         let mut records = Vec::new();
-        let mut valid_len = pos as u64;
-        while let Some(payload) = next_frame(&bytes, &mut pos) {
-            records.push(payload.to_vec());
-            valid_len = pos as u64;
+        for record in &mut iter {
+            records.push(record?);
         }
         Ok(JournalContents {
-            header,
+            header: iter.header,
             records,
-            truncated_tail: valid_len < bytes.len() as u64,
-            valid_len,
+            truncated_tail: iter.valid_len < iter.file_len,
+            valid_len: iter.valid_len,
         })
     }
-}
-
-/// Parses the frame at `*pos`, advancing past it; `None` when the bytes
-/// do not contain a complete, checksum-valid frame there.
-fn next_frame<'a>(bytes: &'a [u8], pos: &mut usize) -> Option<&'a [u8]> {
-    let start = *pos;
-    if bytes.len() - start < FRAME_HEADER {
-        return None;
-    }
-    let len = u32::from_le_bytes(bytes[start..start + 4].try_into().expect("4 bytes"));
-    if len > MAX_PAYLOAD {
-        return None;
-    }
-    let checksum = u64::from_le_bytes(bytes[start + 4..start + 12].try_into().expect("8 bytes"));
-    let data_start = start + FRAME_HEADER;
-    let data_end = data_start.checked_add(len as usize)?;
-    if data_end > bytes.len() {
-        return None;
-    }
-    let payload = &bytes[data_start..data_end];
-    if fnv1a(payload) != checksum {
-        return None;
-    }
-    *pos = data_end;
-    Some(payload)
 }
 
 #[cfg(test)]
@@ -359,6 +814,65 @@ mod tests {
     }
 
     #[test]
+    fn streaming_iter_triages_corruption_with_offset_and_reason() {
+        let path = temp_path("triage.journal");
+        let mut j = Journal::create(&path, b"h").unwrap();
+        j.append(b"good record").unwrap();
+        j.append(b"will be flipped").unwrap();
+        j.append(b"lost after the flip").unwrap();
+        drop(j);
+        let clean = std::fs::read(&path).unwrap();
+        // Offset of the second record's frame.
+        let tail = [b"will be flipped".len(), b"lost after the flip".len()]
+            .iter()
+            .map(|l| FRAME_HEADER + l)
+            .sum::<usize>();
+        let second_start = clean.len() - tail;
+
+        // Mid-journal payload bit flip: checksum mismatch at that frame,
+        // later (individually valid) frames dropped with it.
+        let mut bytes = clean.clone();
+        bytes[second_start + FRAME_HEADER + 3] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut iter = JournalIter::open(&path).unwrap();
+        let records: Vec<Vec<u8>> = (&mut iter).collect::<Result<_, _>>().unwrap();
+        assert_eq!(records, vec![b"good record".to_vec()]);
+        assert!(iter.truncated_tail());
+        let corruption = iter.corruption().expect("triaged");
+        assert_eq!(corruption.offset, second_start as u64);
+        assert_eq!(corruption.reason, CorruptionReason::ChecksumMismatch);
+
+        // Length-field bit flip into an absurd frame size.
+        let mut bytes = clean.clone();
+        bytes[second_start + 3] ^= 0x80; // high byte of the u32 length
+        std::fs::write(&path, &bytes).unwrap();
+        let mut iter = JournalIter::open(&path).unwrap();
+        assert_eq!((&mut iter).count(), 1);
+        assert!(matches!(
+            iter.corruption().expect("triaged").reason,
+            CorruptionReason::OversizedLength(_)
+        ));
+
+        // Torn tail: header cut short.
+        std::fs::write(&path, &clean[..second_start + 5]).unwrap();
+        let mut iter = JournalIter::open(&path).unwrap();
+        assert_eq!((&mut iter).count(), 1);
+        let corruption = *iter.corruption().expect("triaged");
+        assert_eq!(corruption.reason, CorruptionReason::TruncatedHeader);
+        assert_eq!(corruption.offset, second_start as u64);
+
+        // Torn tail: payload cut short.
+        std::fs::write(&path, &clean[..second_start + FRAME_HEADER + 4]).unwrap();
+        let mut iter = JournalIter::open(&path).unwrap();
+        assert_eq!((&mut iter).count(), 1);
+        assert_eq!(
+            iter.corruption().expect("triaged").reason,
+            CorruptionReason::TruncatedPayload
+        );
+        assert!(!format!("{}", iter.corruption().unwrap()).is_empty());
+    }
+
+    #[test]
     fn open_append_truncates_the_torn_tail() {
         let path = temp_path("reopen.journal");
         let mut j = Journal::create(&path, b"h").unwrap();
@@ -377,12 +891,46 @@ mod tests {
     }
 
     #[test]
+    fn locked_iter_becomes_an_appender_in_one_pass() {
+        let path = temp_path("iter-appender.journal");
+        let mut j = Journal::create(&path, b"h").unwrap();
+        j.append(b"one").unwrap();
+        j.append(b"two").unwrap();
+        drop(j);
+        // Torn tail to be truncated by the appender conversion.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[99, 0, 0, 0, 9]).unwrap();
+        drop(f);
+        let mut iter = JournalIter::open_locked(&path).unwrap();
+        let mut n = 0;
+        for rec in &mut iter {
+            rec.unwrap();
+            n += 1;
+        }
+        assert_eq!(n, 2);
+        // The lock is already held: a second writer fails Busy.
+        assert!(matches!(
+            Journal::open_append(&path),
+            Err(JournalError::Busy { .. })
+        ));
+        let mut j = iter.into_appender().unwrap();
+        j.append(b"three").unwrap();
+        drop(j);
+        let c = JournalReader::read(&path).unwrap();
+        assert_eq!(
+            c.records,
+            vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]
+        );
+        assert!(!c.truncated_tail);
+    }
+
+    #[test]
     fn a_second_writer_is_rejected_while_the_first_holds_the_journal() {
         let path = temp_path("locked.journal");
         let mut j = Journal::create(&path, b"h").unwrap();
         j.append(b"rec").unwrap();
         assert!(
-            matches!(Journal::open_append(&path), Err(JournalError::Busy)),
+            matches!(Journal::open_append(&path), Err(JournalError::Busy { .. })),
             "concurrent writers must fail fast"
         );
         // A racing `create` must also fail Busy — and must NOT have
@@ -390,7 +938,7 @@ mod tests {
         // lock).
         assert!(matches!(
             Journal::create(&path, b"other"),
-            Err(JournalError::Busy)
+            Err(JournalError::Busy { .. })
         ));
         j.append(b"still fine").unwrap();
         drop(j); // releases the lock
@@ -409,14 +957,57 @@ mod tests {
         std::fs::write(&path, b"not a journal at all").unwrap();
         assert!(matches!(
             JournalReader::read(&path),
-            Err(JournalError::BadMagic)
+            Err(JournalError::BadMagic { .. })
         ));
         std::fs::write(&path, MAGIC).unwrap();
         assert!(matches!(
             JournalReader::read(&path),
-            Err(JournalError::NoHeader)
+            Err(JournalError::NoHeader { .. })
         ));
         assert!(Journal::open_append(&path).is_err());
+    }
+
+    #[test]
+    fn errors_name_the_path_and_operation() {
+        let path = temp_path("named-errors.journal");
+        std::fs::write(&path, b"junk").unwrap();
+        let err = JournalReader::read(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("named-errors.journal"),
+            "error names the file: {err}"
+        );
+        let missing = temp_path("does-not-exist.journal");
+        std::fs::remove_file(&missing).ok();
+        let err = JournalIter::open(&missing).unwrap_err();
+        let text = err.to_string();
+        assert!(
+            text.contains("open") && text.contains("does-not-exist.journal"),
+            "I/O error names operation and path: {text}"
+        );
+    }
+
+    #[test]
+    fn injected_append_failures_surface_as_io_errors() {
+        let path = temp_path("injected.journal");
+        let mut j = Journal::create(&path, b"h").unwrap();
+        j.append(b"before").unwrap();
+        faults::inject_append_failures("injected.journal", 2, 28); // ENOSPC
+        let err = j.append(b"fails").unwrap_err();
+        match &err {
+            JournalError::Io { op, source, .. } => {
+                assert_eq!(*op, "append");
+                assert_eq!(source.raw_os_error(), Some(28));
+            }
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(j.append(b"fails too").is_err());
+        // The injection budget is spent; appends recover, and the
+        // committed prefix never saw the failed writes.
+        j.append(b"after").unwrap();
+        drop(j);
+        let c = JournalReader::read(&path).unwrap();
+        assert_eq!(c.records, vec![b"before".to_vec(), b"after".to_vec()]);
+        faults::clear();
     }
 
     #[test]
@@ -428,7 +1019,24 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             JournalReader::read(&path),
-            Err(JournalError::BadMagic)
+            Err(JournalError::BadMagic { .. })
         ));
+    }
+
+    #[test]
+    fn promote_atomically_replaces_a_journal() {
+        let dst = temp_path("promote-dst.journal");
+        let tmp = temp_path("promote-tmp.journal");
+        let mut j = Journal::create(&dst, b"old").unwrap();
+        j.append(b"old record").unwrap();
+        drop(j);
+        let mut j = Journal::create(&tmp, b"new").unwrap();
+        j.append(b"new record").unwrap();
+        drop(j);
+        promote(&tmp, &dst).unwrap();
+        assert!(!tmp.exists(), "tmp was renamed away");
+        let c = JournalReader::read(&dst).unwrap();
+        assert_eq!(c.header, b"new");
+        assert_eq!(c.records, vec![b"new record".to_vec()]);
     }
 }

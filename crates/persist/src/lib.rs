@@ -22,6 +22,14 @@
 //! length or checksum test and is dropped on read, so the journal's
 //! valid prefix is always a consistent campaign state.
 //!
+//! Two readers share the validation logic: [`JournalReader`]
+//! materializes the whole valid prefix (fine for tests and small
+//! journals), while [`JournalIter`] streams one frame at a time — replay
+//! memory bounded by the largest frame, not the journal — and can carry
+//! the writer lock from scan into append ([`JournalIter::into_appender`])
+//! or into a compaction rewrite committed by [`journal::promote`]'s
+//! atomic rename (`DESIGN.md` §11).
+//!
 //! The example below is the runnable form of the `DESIGN.md` §9 format
 //! walkthrough (CI runs it as a doctest):
 //!
@@ -58,7 +66,7 @@
 //! assert_eq!(contents.records.len(), 3);
 //! assert!(!contents.truncated_tail);
 //! # std::fs::remove_dir_all(&dir).ok();
-//! # Ok::<(), spe_persist::journal::JournalError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -67,4 +75,7 @@ pub mod codec;
 pub mod journal;
 
 pub use codec::{DecodeError, Decoder, Encoder};
-pub use journal::{Journal, JournalContents, JournalError, JournalReader};
+pub use journal::{
+    CorruptionReason, Journal, JournalContents, JournalError, JournalIter, JournalReader,
+    TailCorruption,
+};

@@ -1,0 +1,144 @@
+//! Resume memory is bounded by **live job state**, not journal size:
+//! the resume path replays through the streaming [`JournalIter`], so a
+//! multi-thousand-frame journal must replay in a small, flat footprint,
+//! while materializing the same journal through [`JournalReader::read`]
+//! necessarily allocates it whole.
+//!
+//! One test, alone in its binary: the measurement uses a process-global
+//! counting allocator, and sibling tests would pollute the peaks.
+
+use spe::harness::checkpoint::{
+    resume_campaign, run_campaign_checkpointed, CampaignStatus, CheckpointOptions,
+};
+use spe::harness::CampaignConfig;
+use spe::persist::{JournalIter, JournalReader};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Wraps the system allocator with live/peak byte counters.
+struct Counting;
+
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        System.dealloc(p, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+/// Runs `f` and returns its result plus the peak allocation (in bytes)
+/// above the live baseline at entry.
+fn measure<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    let baseline = CURRENT.load(Ordering::Relaxed);
+    PEAK.store(baseline, Ordering::Relaxed);
+    let result = f();
+    (result, PEAK.load(Ordering::Relaxed).saturating_sub(baseline))
+}
+
+/// A straight-line program with eight candidate variables feeding many
+/// holes: its canonical variant space dwarfs any budget this test uses,
+/// so the checkpointed run emits exactly `budget` variants.
+const WIDE_SOURCE: &str = "int main() {
+    int a = 0, b = 1, c = 2, d = 3, e = 4, f = 5, g = 6, h = 7;
+    a = b + c;
+    d = e + f;
+    g = h + a;
+    b = c + d;
+    e = f + g;
+    h = a + b;
+    c = d + e;
+    f = g + h;
+    return a + b;
+}
+";
+
+#[test]
+fn streaming_resume_stays_flat_over_a_multi_thousand_frame_journal() {
+    let files = vec![spe::corpus::TestFile {
+        name: "wide.c".into(),
+        source: WIDE_SOURCE.into(),
+    }];
+    // No compilers: each variant only parses, so the journal grows by
+    // one counter-only `Progress` frame per variant (`every: 1`) at
+    // negligible compute cost — frame *count* is what this test needs.
+    let config = CampaignConfig {
+        compilers: vec![],
+        budget: 5_000,
+        algorithm: spe::core::Algorithm::Paper,
+        check_wrong_code: false,
+        fuel: 1_000,
+    };
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("resume-memory");
+    std::fs::create_dir_all(&dir).expect("tmpdir");
+    let path = dir.join("wide.journal");
+    let status = run_campaign_checkpointed(
+        &files,
+        &config,
+        1,
+        &path,
+        &CheckpointOptions {
+            every: 1,
+            stop_after: None,
+        },
+    )
+    .expect("checkpointed run");
+    assert!(matches!(status, CampaignStatus::Complete(_)));
+
+    // Count frames by streaming — materializing here would defeat the
+    // point of a memory test.
+    let mut frames = 0usize;
+    for record in JournalIter::open(&path).expect("open") {
+        record.expect("valid frame");
+        frames += 1;
+    }
+    assert!(frames > 3_000, "journal is multi-thousand-frame: {frames}");
+    let journal_bytes = std::fs::metadata(&path).expect("metadata").len() as usize;
+
+    // Materializing the journal allocates at least the whole record set.
+    let (contents, read_peak) = measure(|| JournalReader::read(&path).expect("read"));
+    assert_eq!(contents.records.len(), frames);
+    drop(contents);
+
+    // The streaming resume replays the same frames with a peak bounded
+    // by live job state (one job here), far under both the materialized
+    // read and the journal's own size.
+    let (resumed, resume_peak) = measure(|| {
+        resume_campaign(&path, 1, &CheckpointOptions::default()).expect("resume")
+    });
+    let report = match resumed {
+        CampaignStatus::Complete(report) => report,
+        CampaignStatus::Interrupted => panic!("finished journal replays to completion"),
+    };
+    assert_eq!(report.files_processed, 1);
+    drop(report);
+
+    assert!(
+        resume_peak * 2 < read_peak,
+        "streaming resume ({resume_peak} B peak) must stay well under the \
+         materializing read ({read_peak} B peak) over {frames} frames"
+    );
+    assert!(
+        resume_peak < journal_bytes,
+        "resume peak ({resume_peak} B) must not scale with the journal \
+         ({journal_bytes} B on disk)"
+    );
+    assert!(
+        resume_peak < 256 * 1024,
+        "resume peak ({resume_peak} B) exceeds the live-state bound"
+    );
+    std::fs::remove_file(&path).ok();
+}
