@@ -1,0 +1,108 @@
+//! End-to-end campaign benchmark: the Table-3 stable-release workload
+//! driven through `run_campaign_parallel`, measured two ways
+//! (`BENCH_campaign.json` records the baseline):
+//!
+//! * `campaign/workersN` — wall clock of the whole campaign at 1/2/4/8
+//!   workers under the default `NullSink` (the production hot path);
+//! * `campaign/workers1_recorded` — the same serial campaign with a
+//!   live `spe_telemetry::Recorder` installed, pinning the
+//!   instrumentation overhead next to the uninstrumented number.
+//!
+//! After timing, one instrumented pass prints the throughput summary
+//! the incremental-oracle ROADMAP item is measured against: end-to-end
+//! variants/sec plus p50/p99 per-verdict oracle latency, read from the
+//! `oracle_ns.*` histograms the campaign itself recorded.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spe_corpus::{generate, seeds, CorpusConfig, TestFile};
+use spe_harness::{run_campaign_parallel, CampaignConfig};
+use spe_simcc::{Compiler, CompilerId};
+use spe_telemetry::{names, Recorder};
+
+/// The Table-3 workload at the experiments' quick scale: paper seeds +
+/// a 50-file synthetic corpus slice against the stable releases.
+fn workload() -> (Vec<TestFile>, CampaignConfig) {
+    let mut files = seeds::all();
+    files.extend(generate(&CorpusConfig {
+        files: 50,
+        seed: 43,
+    }));
+    let config = CampaignConfig {
+        compilers: vec![
+            Compiler::new(CompilerId::gcc(485), 0),
+            Compiler::new(CompilerId::gcc(485), 3),
+            Compiler::new(CompilerId::clang(360), 0),
+            Compiler::new(CompilerId::clang(360), 3),
+        ],
+        budget: 50,
+        algorithm: spe_core::Algorithm::Paper,
+        check_wrong_code: false,
+        fuel: 20_000,
+    };
+    (files, config)
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let (files, config) = workload();
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("campaign", format!("workers{workers}")),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    criterion::black_box(
+                        run_campaign_parallel(&files, &config, workers).variants_tested,
+                    )
+                })
+            },
+        );
+    }
+    // The same serial campaign with a live Recorder: the gap to
+    // `workers1` is the whole instrumentation overhead.
+    group.bench_function("workers1_recorded", |b| {
+        let recorder = Arc::new(Recorder::new());
+        let prev = spe_telemetry::install_recorder(recorder, Vec::new());
+        b.iter(|| {
+            criterion::black_box(run_campaign_parallel(&files, &config, 1).variants_tested)
+        });
+        spe_telemetry::uninstall_recorder(prev);
+    });
+    group.finish();
+
+    // One instrumented pass for the recorded throughput summary.
+    let recorder = Arc::new(Recorder::new());
+    let prev = spe_telemetry::install_recorder(recorder.clone(), Vec::new());
+    let start = Instant::now();
+    let report = run_campaign_parallel(&files, &config, 1);
+    let elapsed = start.elapsed();
+    spe_telemetry::uninstall_recorder(prev);
+    let snap = recorder.snapshot();
+    let variants_per_sec = report.variants_tested as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "campaign workload: {} variants, {} findings, {:.0} variants/sec serial",
+        report.variants_tested,
+        report.findings.len(),
+        variants_per_sec,
+    );
+    for (name, h) in &snap.histograms {
+        let Some(label) = name.strip_prefix(names::ORACLE_NS_PREFIX) else {
+            continue;
+        };
+        eprintln!(
+            "oracle latency [{label}]: n={} p50={:.1}us p99={:.1}us mean={:.1}us",
+            h.count,
+            h.quantile(0.5) / 1e3,
+            h.quantile(0.99) / 1e3,
+            h.mean() / 1e3,
+        );
+    }
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Regenerates every table and figure; with `--markdown` the output is
 //! the body recorded in `EXPERIMENTS.md`.
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     let markdown = std::env::args().any(|a| a == "--markdown");
     let scale = spe_experiments::Scale::full();
     let run = spe_experiments::counting_run(scale);

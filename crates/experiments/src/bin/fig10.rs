@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 10 (bug characteristics).
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     let (_, report) = spe_experiments::table4(spe_experiments::Scale::full());
     for h in spe_experiments::figure10(&report) {
         println!("{}", h.render(40));

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 8 (variant-count distributions).
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     let run = spe_experiments::counting_run(spe_experiments::Scale::full());
     let (a, b) = spe_experiments::figure8(&run);
     println!("{}", a.render(40));

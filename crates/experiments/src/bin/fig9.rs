@@ -1,5 +1,6 @@
 //! Regenerates the paper's Figure 9 (coverage improvements).
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     println!(
         "{}",
         spe_experiments::figure9(spe_experiments::Scale::full()).render(40)

@@ -1,4 +1,5 @@
 //! Regenerates the §5.3 generality results (WHILE-language campaigns).
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     println!("{}", spe_experiments::generality().render());
 }

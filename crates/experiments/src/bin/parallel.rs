@@ -4,6 +4,7 @@
 //! algorithm, where every in-mask-width skeleton takes the shard-native
 //! enumeration path (no per-group solution list materialized; DESIGN §8).
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     let workers = spe_experiments::campaign_workers();
     let mut counts = vec![1usize, 2, 4];
     if !counts.contains(&workers) {

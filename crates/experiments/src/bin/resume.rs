@@ -2,10 +2,18 @@
 //! with journal checkpoints, force-kills it mid-campaign, resumes from
 //! the journal, and asserts the merged report — campaign and reduction
 //! stage alike — byte-identical to an uninterrupted run.
+//!
+//! Telemetry is environment-driven (`SPE_TRACE`, `SPE_METRICS`,
+//! `SPE_PROGRESS`, `SPE_TELEMETRY`); the per-phase wall-clock lines at
+//! the end are read back from the recorded `phase.*` spans.
 fn main() {
+    let telemetry = spe_experiments::install_telemetry();
     let workers = spe_experiments::campaign_workers();
     println!(
         "{}",
         spe_experiments::resume_demo(spe_experiments::Scale::quick(), workers).render()
     );
+    for (phase, ms) in telemetry.phases() {
+        println!("phase {phase}: {ms:.1} ms");
+    }
 }

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Table 1 (search-space reduction).
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     let scale = spe_experiments::Scale::full();
     let run = spe_experiments::counting_run(scale);
     println!("{}", spe_experiments::table1(&run).render());

@@ -1,5 +1,6 @@
 //! Regenerates the paper's Table 2 (test-suite characteristics).
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     println!(
         "{}",
         spe_experiments::table2(spe_experiments::Scale::full()).render()

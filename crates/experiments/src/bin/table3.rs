@@ -1,6 +1,7 @@
 //! Regenerates the paper's Table 3 (stable-release crash signatures),
 //! plus the reduce/dedup stage's corrected counts.
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     let (t, report) = spe_experiments::table3(spe_experiments::Scale::full());
     println!("{}", t.render());
     println!(

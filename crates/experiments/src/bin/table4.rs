@@ -1,6 +1,7 @@
 //! Regenerates the paper's Table 4 (trunk campaign overview), plus the
 //! reduce/dedup stage's corrected counts.
 fn main() {
+    let _telemetry = spe_experiments::install_telemetry();
     let (t, report) = spe_experiments::table4(spe_experiments::Scale::full());
     println!("{}", t.render());
     println!(

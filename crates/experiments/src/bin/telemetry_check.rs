@@ -1,0 +1,62 @@
+//! CI validator for exported telemetry artifacts.
+//!
+//! `telemetry_check <trace.jsonl> <metrics.prom>` parses every line of
+//! the JSONL trace with the strict [`spe_telemetry::jsonl::parse_line`]
+//! parser and requires the Prometheus snapshot to be non-empty and to
+//! carry at least one `spe_`-prefixed sample; any violation exits
+//! nonzero with the offending line. CI runs an instrumented campaign
+//! with `SPE_TRACE`/`SPE_METRICS` set and then this check over the two
+//! files it produced.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [trace_path, metrics_path] = args.as_slice() else {
+        eprintln!("usage: telemetry_check <trace.jsonl> <metrics.prom>");
+        return ExitCode::FAILURE;
+    };
+    let trace = match std::fs::read_to_string(trace_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("telemetry_check: cannot read {trace_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut records = 0usize;
+    let mut spans = 0usize;
+    for (i, line) in trace.lines().enumerate() {
+        match spe_telemetry::jsonl::parse_line(line) {
+            Ok(r) => {
+                records += 1;
+                if r.kind == "span" {
+                    spans += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("telemetry_check: {trace_path}:{}: {e}: {line}", i + 1);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if records == 0 {
+        eprintln!("telemetry_check: {trace_path} is empty — no trace records");
+        return ExitCode::FAILURE;
+    }
+    let metrics = match std::fs::read_to_string(metrics_path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("telemetry_check: cannot read {metrics_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !metrics.lines().any(|l| l.starts_with("spe_")) {
+        eprintln!("telemetry_check: {metrics_path} has no spe_-prefixed samples");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "telemetry_check: OK ({records} trace records, {spans} spans, {} metrics lines)",
+        metrics.lines().count()
+    );
+    ExitCode::SUCCESS
+}

@@ -242,6 +242,42 @@ pub fn campaign_workers() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Installs environment-driven telemetry for an experiments binary:
+/// a global recorder plus whatever `SPE_TRACE` / `SPE_METRICS` /
+/// `SPE_PROGRESS` / `SPE_TELEMETRY` opt into. Keep the guard alive for
+/// the whole run; dropping it flushes the trace and snapshot.
+pub fn install_telemetry() -> spe_telemetry::Telemetry {
+    spe_telemetry::Telemetry::install_from_env()
+}
+
+/// Runs `f` under a `phase.<name>` telemetry span and returns its result
+/// with the elapsed wall clock — sourced from the very nanoseconds the
+/// span records, so printed timings and exported traces always agree.
+pub fn phase<T>(name: &str, f: impl FnOnce() -> T) -> (T, std::time::Duration) {
+    let telemetry = spe_telemetry::global();
+    let timer = spe_telemetry::Timer::always();
+    let out = f();
+    let nanos = timer.stop_nanos();
+    telemetry.span(
+        &format!("{}{name}", spe_telemetry::names::PHASE_PREFIX),
+        "",
+        nanos,
+    );
+    (out, std::time::Duration::from_nanos(nanos))
+}
+
+/// Prints a supervised [`spe_harness::orchestrate::Outcome`]'s absorbed
+/// fault warnings (journal degradation, quarantined jobs) to stderr and
+/// unwraps the status — experiments bins must never drop them silently.
+pub fn surface_warnings(
+    outcome: spe_harness::orchestrate::Outcome,
+) -> spe_harness::checkpoint::CampaignStatus {
+    for w in &outcome.warnings {
+        eprintln!("spe-experiments: warning: {w}");
+    }
+    outcome.status
+}
+
 /// Shared harness of the campaign-scaling experiments: runs the serial
 /// campaign over the seeds plus a generated corpus slice, re-runs it at
 /// each worker count, asserts every parallel report byte-identical to
@@ -351,9 +387,9 @@ pub fn canonical_native_speedup(scale: Scale, worker_counts: &[usize]) -> Table 
 /// partial-report merge [`Table::extend`].
 pub fn resume_demo(scale: Scale, workers: usize) -> Table {
     use spe_harness::checkpoint::{
-        compact_journal, reduce_findings_checkpointed, resume_campaign, run_campaign_checkpointed,
-        CampaignStatus, CheckpointOptions,
+        compact_journal, reduce_findings_checkpointed, CampaignStatus, CheckpointOptions,
     };
+    use spe_harness::orchestrate::{self, FaultPolicy};
     let mut files = seeds::all();
     files.extend(generate(&CorpusConfig {
         files: scale.corpus_files / 8,
@@ -389,19 +425,21 @@ pub fn resume_demo(scale: Scale, workers: usize) -> Table {
         format!("Checkpointed campaign: kill after ~{stop_after} variants, resume ({workers} workers)"),
         &headers,
     );
-    let start = std::time::Instant::now();
-    let first = run_campaign_checkpointed(
-        &files,
-        &config,
-        workers,
-        &path,
-        &CheckpointOptions {
-            every: 64,
-            stop_after: Some(stop_after),
-        },
-    )
-    .expect("journal is writable");
-    let first_time = start.elapsed();
+    let (first, first_time) = phase("run_until_kill", || {
+        orchestrate::campaign_checkpointed(
+            &files,
+            &config,
+            workers,
+            &path,
+            &CheckpointOptions {
+                every: 64,
+                stop_after: Some(stop_after),
+            },
+            &FaultPolicy::default(),
+        )
+        .map(surface_warnings)
+        .expect("journal is writable")
+    });
     assert!(
         matches!(first, CampaignStatus::Interrupted),
         "the kill budget must preempt the campaign"
@@ -421,9 +459,7 @@ pub fn resume_demo(scale: Scale, workers: usize) -> Table {
     // frames fold into one per job, and the resume below runs off the
     // compacted file — proving in one pass that compaction preserves
     // resume identity.
-    let start = std::time::Instant::now();
-    let stats = compact_journal(&path).expect("compaction");
-    let compact_time = start.elapsed();
+    let (stats, compact_time) = phase("compact", || compact_journal(&path).expect("compaction"));
     let mut compacted = Table::new("", &headers);
     compacted.row(&[
         "compact journal".to_string(),
@@ -436,12 +472,18 @@ pub fn resume_demo(scale: Scale, workers: usize) -> Table {
         "-".to_string(),
     ]);
     t.extend(&compacted);
-    let start = std::time::Instant::now();
-    let resumed = resume_campaign(&path, workers, &CheckpointOptions::default())
+    let (resumed, resume_time) = phase("resume", || {
+        orchestrate::resume(
+            &path,
+            workers,
+            &CheckpointOptions::default(),
+            &FaultPolicy::default(),
+        )
+        .map(surface_warnings)
         .expect("journal resumes")
         .into_report()
-        .expect("uninterrupted resume completes");
-    let resume_time = start.elapsed();
+        .expect("uninterrupted resume completes")
+    });
     assert_eq!(resumed, reference, "resumed report diverged");
     // The resumed phase as a *partial report*, merged into one table.
     let mut rest = Table::new("", &headers);
@@ -457,21 +499,23 @@ pub fn resume_demo(scale: Scale, workers: usize) -> Table {
     let mut in_memory = reference.clone();
     reduce_campaign(&mut in_memory, &config);
     let mut journaled = resumed;
-    reduce_findings_checkpointed(
-        &mut journaled,
-        &ReductionOptions {
-            fuel: config.fuel,
-            ..ReductionOptions::default()
-        },
-        workers,
-        &path,
-    )
-    .expect("checkpointed reduction");
+    let ((), reduce_time) = phase("reduce", || {
+        reduce_findings_checkpointed(
+            &mut journaled,
+            &ReductionOptions {
+                fuel: config.fuel,
+                ..ReductionOptions::default()
+            },
+            workers,
+            &path,
+        )
+        .expect("checkpointed reduction");
+    });
     assert_eq!(journaled, in_memory, "checkpointed reduction diverged");
     let mut reduction = Table::new("", &headers);
     reduction.row(&[
         "checkpointed reduction".to_string(),
-        "-".to_string(),
+        format!("{reduce_time:.2?}"),
         "-".to_string(),
         format!("{} corrected", journaled.corrected_findings().count()),
         "yes (asserted)".to_string(),

@@ -769,9 +769,18 @@ pub(crate) fn resume_supervised(
     oracle: Oracle<'_>,
     policy: FaultPolicy,
 ) -> Result<Outcome, CheckpointError> {
+    let telemetry = spe_telemetry::global();
+    let replay_timer = spe_telemetry::Timer::start(&*telemetry);
     let mut iter = JournalIter::open_locked(path)?;
     let mut replay = Replay::new(iter.header())?;
     replay.drain(&mut iter)?;
+    if telemetry.enabled() {
+        telemetry.span(
+            spe_telemetry::names::ORCH_REPLAY,
+            &format!("jobs={}", replay.jobs.len()),
+            replay_timer.stop_nanos(),
+        );
+    }
     replay.manifest.check_backend(&oracle)?;
     let Replay {
         manifest,
@@ -859,6 +868,27 @@ pub fn compact_journal_abandoned(path: impl AsRef<Path>) -> Result<CompactStats,
 }
 
 fn compact_inner(path: &Path, promote: bool) -> Result<CompactStats, CheckpointError> {
+    let telemetry = spe_telemetry::global();
+    let timer = spe_telemetry::Timer::start(&*telemetry);
+    let result = compact_scan_rewrite(path, promote);
+    if telemetry.enabled() {
+        let detail = match &result {
+            Ok(s) => format!(
+                "frames {}->{} bytes {}->{}",
+                s.frames_before, s.frames_after, s.bytes_before, s.bytes_after
+            ),
+            Err(_) => "failed".to_owned(),
+        };
+        telemetry.span(
+            spe_telemetry::names::JOURNAL_COMPACT,
+            &detail,
+            timer.stop_nanos(),
+        );
+    }
+    result
+}
+
+fn compact_scan_rewrite(path: &Path, promote: bool) -> Result<CompactStats, CheckpointError> {
     let mut iter = JournalIter::open_locked(path)?;
     let header = iter.header().to_vec();
     let mut replay = Replay::new(&header)?;

@@ -29,6 +29,7 @@ use spe_core::{
 use spe_corpus::TestFile;
 use spe_simcc::backend::{intern, BackendError, CompilerBackend};
 use spe_simcc::{interp, CompileError, Compiler, CompilerId};
+use spe_telemetry::{names, Sink as TelemetrySink, Timer};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
@@ -337,13 +338,68 @@ impl Oracle<'_> {
         }
     }
 
-    /// Runs every compiler configuration over one rendered variant.
+    /// Runs every compiler configuration over one rendered variant,
+    /// recording its latency into the per-verdict oracle histogram of
+    /// `telemetry` (`oracle_ns.<verdict>`) when the sink is enabled.
     ///
     /// # Errors
     ///
     /// [`BackendError`] (backend dispatch only) when the oracle
     /// machinery failed; the caller quarantines the work item.
     pub(crate) fn process_variant(
+        &self,
+        file: &TestFile,
+        src: &str,
+        config: &CampaignConfig,
+        out: &mut ShardOutput,
+        telemetry: &dyn TelemetrySink,
+    ) -> Result<(), BackendError> {
+        if !telemetry.enabled() {
+            return self.dispatch(file, src, config, out);
+        }
+        let before = (
+            out.candidates.len(),
+            out.variants_tested,
+            out.variants_ub_skipped,
+        );
+        let timer = Timer::start(telemetry);
+        let result = self.dispatch(file, src, config, out);
+        let nanos = timer.stop_nanos();
+        // The verdict drives which latency histogram the observation
+        // lands in; a variant producing several findings is classified
+        // by its first (emission order matches the direct path).
+        match &result {
+            Ok(()) => {
+                let verdict = if let Some(f) = out.candidates.get(before.0) {
+                    match f.kind {
+                        FindingKind::WrongCode => names::ORACLE_NS_WRONG_CODE,
+                        FindingKind::Performance => names::ORACLE_NS_PERFORMANCE,
+                        _ => names::ORACLE_NS_CRASH,
+                    }
+                } else if out.variants_ub_skipped > before.2 {
+                    names::ORACLE_NS_UB_SKIP
+                } else if out.variants_tested > before.1 {
+                    names::ORACLE_NS_CLEAN
+                } else {
+                    names::ORACLE_NS_UNSUPPORTED
+                };
+                telemetry.histogram(verdict, nanos);
+            }
+            Err(_) => telemetry.counter(names::DEGRADED, 1),
+        }
+        telemetry.counter(names::VARIANTS, out.variants_tested - before.1);
+        let candidates = (out.candidates.len() - before.0) as u64;
+        if candidates > 0 {
+            telemetry.counter(names::CANDIDATES, candidates);
+        }
+        let ub = out.variants_ub_skipped - before.2;
+        if ub > 0 {
+            telemetry.counter(names::UB_SKIPS, ub);
+        }
+        result
+    }
+
+    fn dispatch(
         &self,
         file: &TestFile,
         src: &str,
@@ -590,12 +646,13 @@ fn process_file_shard(
         file_processed: shard == 0,
         ..ShardOutput::default()
     };
+    let telemetry = spe_telemetry::global();
     campaign_enumerator(config, shards_per_file).enumerate_shard_prepared(
         space,
         shard,
         &mut |variant| {
             variant.render_into(sk, buf);
-            match oracle.process_variant(file, buf, config, &mut out) {
+            match oracle.process_variant(file, buf, config, &mut out, &*telemetry) {
                 Ok(()) => ControlFlow::Continue(()),
                 Err(e) => {
                     out.candidates.push(degraded_finding(file, shard, buf, config, &e));

@@ -50,6 +50,7 @@ use crate::{
 use spe_corpus::TestFile;
 use spe_persist::{Journal, JournalError};
 use spe_simcc::backend::CompilerBackend;
+use spe_telemetry::{names, Sink as TelemetrySink, Timer};
 use std::any::Any;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -144,6 +145,7 @@ struct Sink<'a> {
     degraded: AtomicBool,
     policy: &'a FaultPolicy,
     warnings: &'a Mutex<Vec<String>>,
+    telemetry: &'a dyn TelemetrySink,
 }
 
 impl Sink<'_> {
@@ -171,11 +173,13 @@ impl Sink<'_> {
                 Err(e @ JournalError::Io { .. }) if attempt < self.policy.max_append_retries => {
                     attempt += 1;
                     let _ = e;
+                    self.telemetry.counter(names::JOURNAL_RETRIES, 1);
                     std::thread::sleep(backoff);
                     backoff = backoff.saturating_mul(2);
                 }
                 Err(e) => {
                     if !self.degraded.swap(true, Ordering::Relaxed) {
+                        self.telemetry.event(names::JOURNAL_DEGRADED, what);
                         self.warnings.lock().expect("poisoned").push(format!(
                             "checkpointing disabled: {what} failed after {attempt} retries: {e}; \
                              the campaign continues in memory and the journal stays resumable \
@@ -196,7 +200,12 @@ impl Sink<'_> {
     /// on checkpoint health.
     fn commit(&self, job: usize, emitted: u64, delta: &mut ShardOutput, cont: &mut ShardOutput) {
         if self.active() {
+            let timer = Timer::start(self.telemetry);
             self.append("progress checkpoint", &encode_progress(job, emitted, delta));
+            if self.telemetry.enabled() {
+                self.telemetry
+                    .span(names::ORCH_CHECKPOINT, "", timer.stop_nanos());
+            }
         }
         cont.absorb(std::mem::take(delta));
     }
@@ -228,14 +237,31 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
         policy,
     } = spec;
     let every = every.max(1);
+    // One global-sink read per run; workers share the borrow. All
+    // recording is write-only (nothing read back), so instrumented
+    // runs stay byte-identical to `NullSink` runs.
+    let telemetry_handle = spe_telemetry::global();
+    let telemetry: &dyn TelemetrySink = &*telemetry_handle;
+    let run_timer = Timer::start(telemetry);
+    let deal_timer = Timer::start(telemetry);
     let pending: Vec<usize> = (0..jobs.len()).filter(|&i| !jobs[i].done).collect();
+    let dealt = pending.len();
     let queue = WorkQueue::new(pending, workers);
+    if telemetry.enabled() {
+        telemetry.gauge(names::ORCH_JOBS, i64::try_from(jobs.len()).unwrap_or(i64::MAX));
+        telemetry.span(
+            names::ORCH_DEAL,
+            &format!("jobs={dealt} workers={workers}"),
+            deal_timer.stop_nanos(),
+        );
+    }
     let warnings: Mutex<Vec<String>> = Mutex::new(Vec::new());
     let sink = Sink {
         journal: journal.map(Mutex::new),
         degraded: AtomicBool::new(false),
         policy: &policy,
         warnings: &warnings,
+        telemetry,
     };
     let stop = AtomicBool::new(false);
     let processed = AtomicU64::new(0);
@@ -258,10 +284,20 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
             let jobs = &jobs;
             scope.spawn(move || {
                 let mut buf = String::new();
-                while let Some(i) = queue.pop(w) {
+                while let Some((i, stolen)) = queue.pop_from(w) {
                     if stop.load(Ordering::Relaxed) {
                         return;
                     }
+                    if telemetry.enabled() {
+                        if stolen {
+                            telemetry.counter(names::ORCH_STEALS, 1);
+                        }
+                        telemetry.gauge(
+                            names::ORCH_QUEUE_DEPTH,
+                            i64::try_from(queue.len()).unwrap_or(i64::MAX),
+                        );
+                    }
+                    let job_timer = Timer::start(telemetry);
                     let (file_idx, shard) = (i / shards_per_file, i % shards_per_file);
                     let file = &files[file_idx];
                     let skip = jobs[i].emitted;
@@ -298,8 +334,8 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
                                         return ControlFlow::Break(());
                                     }
                                     variant.render_into(sk, &mut buf);
-                                    if let Err(e) =
-                                        oracle.process_variant(file, &buf, config, &mut delta)
+                                    if let Err(e) = oracle
+                                        .process_variant(file, &buf, config, &mut delta, telemetry)
                                     {
                                         // Backend machinery failure:
                                         // quarantine the job (degraded
@@ -322,6 +358,8 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
                                             // uncommitted delta on the
                                             // floor.
                                             stop.store(true, Ordering::Relaxed);
+                                            telemetry
+                                                .event(names::ORCH_KILLED, "stop_after reached");
                                             killed = true;
                                             return ControlFlow::Break(());
                                         }
@@ -360,6 +398,7 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
                             config,
                             panic_message(payload.as_ref()),
                         ));
+                        telemetry.counter(names::ORCH_PANICS, 1);
                     }
                     if killed {
                         return;
@@ -378,11 +417,22 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
                     }
                     sink.append("job completion record", &encode_job_done(i));
                     continuations.lock().expect("poisoned")[i] = Some(cont);
+                    if telemetry.enabled() {
+                        telemetry.span(
+                            names::ORCH_JOB,
+                            &format!("file={file_idx} shard={shard}"),
+                            job_timer.stop_nanos(),
+                        );
+                    }
+                    telemetry.counter(names::ORCH_JOBS_DONE, 1);
                 }
             });
         }
     });
     if stop.load(Ordering::Relaxed) {
+        if telemetry.enabled() {
+            telemetry.span(names::ORCH_RUN, "interrupted", run_timer.stop_nanos());
+        }
         return Outcome {
             status: CampaignStatus::Interrupted,
             warnings: warnings.into_inner().expect("poisoned"),
@@ -401,8 +451,14 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
             out
         })
         .collect();
+    let merge_timer = Timer::start(telemetry);
+    let report = merge_outputs(outputs);
+    if telemetry.enabled() {
+        telemetry.span(names::ORCH_MERGE, "", merge_timer.stop_nanos());
+        telemetry.span(names::ORCH_RUN, "complete", run_timer.stop_nanos());
+    }
     Outcome {
-        status: CampaignStatus::Complete(merge_outputs(outputs)),
+        status: CampaignStatus::Complete(report),
         warnings: warnings.into_inner().expect("poisoned"),
     }
 }

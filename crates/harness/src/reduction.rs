@@ -262,6 +262,8 @@ fn reduce_findings_oracle(
     if jobs == 0 {
         return;
     }
+    let telemetry = spe_telemetry::global();
+    let pass_timer = spe_telemetry::Timer::start(&*telemetry);
     let workers = workers.clamp(1, jobs);
     let slots: Mutex<Vec<Option<ReducedWitness>>> = Mutex::new(vec![None; jobs]);
     if workers == 1 {
@@ -290,6 +292,13 @@ fn reduce_findings_oracle(
     }
     let slots = slots.into_inner().expect("poisoned");
     attach_and_dedup(report, slots);
+    if telemetry.enabled() {
+        telemetry.span(
+            spe_telemetry::names::REDUCE_PASS,
+            &format!("findings={jobs} workers={workers}"),
+            pass_timer.stop_nanos(),
+        );
+    }
 }
 
 /// Attaches witnesses in finding order and runs both ground-truth-free

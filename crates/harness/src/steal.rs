@@ -71,18 +71,44 @@ impl<T> WorkQueue<T> {
     ///
     /// Panics if `worker >= self.workers()`.
     pub fn pop(&self, worker: usize) -> Option<T> {
+        self.pop_from(worker).map(|(job, _)| job)
+    }
+
+    /// [`WorkQueue::pop`], also reporting whether the job was stolen
+    /// from a victim's deque rather than popped from the worker's own
+    /// (the signal behind the orchestrator's steal counter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= self.workers()`.
+    pub fn pop_from(&self, worker: usize) -> Option<(T, bool)> {
         assert!(worker < self.deques.len(), "worker {worker} out of range");
         if let Some(job) = self.deques[worker].lock().expect("poisoned").pop_front() {
-            return Some(job);
+            return Some((job, false));
         }
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (worker + offset) % n;
             if let Some(job) = self.deques[victim].lock().expect("poisoned").pop_back() {
-                return Some(job);
+                return Some((job, true));
             }
         }
         None
+    }
+
+    /// Jobs currently queued across all deques (jobs already popped and
+    /// in flight are not counted). Takes each deque lock briefly, so
+    /// callers gate this behind an enabled telemetry sink.
+    pub fn len(&self) -> usize {
+        self.deques
+            .iter()
+            .map(|d| d.lock().expect("poisoned").len())
+            .sum()
+    }
+
+    /// Whether no jobs remain queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -123,6 +149,19 @@ mod tests {
         assert_eq!(q.pop(1), Some(5));
         assert_eq!(q.pop(1), Some(2), "steal takes the victim's back");
         assert_eq!(q.pop(0), Some(0), "owner still pops its front");
+    }
+
+    #[test]
+    fn pop_from_flags_steals_and_len_tracks_remaining() {
+        let q = WorkQueue::new((0..4).collect::<Vec<i32>>(), 2);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop_from(0), Some((0, false)), "own front is not a steal");
+        assert_eq!(q.pop_from(0), Some((1, false)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_from(0), Some((3, true)), "victim's back is a steal");
+        assert_eq!(q.pop_from(1), Some((2, false)));
+        assert!(q.is_empty());
+        assert_eq!(q.pop_from(0), None);
     }
 
     #[test]

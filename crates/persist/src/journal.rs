@@ -193,6 +193,9 @@ pub mod faults {
 pub struct Journal {
     file: File,
     path: PathBuf,
+    /// File length after the last acknowledged append (the gauge the
+    /// telemetry sink reports as journal growth).
+    len: u64,
 }
 
 impl Journal {
@@ -229,9 +232,11 @@ impl Journal {
         // (without this, acknowledged appends can land in a file the
         // directory no longer names after a crash).
         sync_parent_dir(path)?;
+        let len = (MAGIC.len() + FRAME_HEADER + header.len()) as u64;
         Ok(Journal {
             file,
             path: path.to_path_buf(),
+            len,
         })
     }
 
@@ -285,6 +290,7 @@ impl Journal {
         Ok(Journal {
             file,
             path: path.to_path_buf(),
+            len: contents.valid_len,
         })
     }
 
@@ -300,12 +306,32 @@ impl Journal {
         if let Some(injected) = faults::take(&self.path) {
             return Err(JournalError::io("append", &self.path, injected));
         }
+        let telemetry = spe_telemetry::global();
+        let write_timer = spe_telemetry::Timer::start(&*telemetry);
         write_frame(&mut self.file, payload)
             .map_err(|e| JournalError::io("append", &self.path, e))?;
+        let write_ns = write_timer.stop_nanos();
+        let sync_timer = spe_telemetry::Timer::start(&*telemetry);
         self.file
             .sync_data()
             .map_err(|e| JournalError::io("fsync", &self.path, e))?;
+        self.len += (FRAME_HEADER + payload.len()) as u64;
+        if telemetry.enabled() {
+            use spe_telemetry::names;
+            telemetry.histogram(names::JOURNAL_APPEND_NS, write_ns);
+            telemetry.histogram(names::JOURNAL_FSYNC_NS, sync_timer.stop_nanos());
+            telemetry.counter(names::JOURNAL_APPENDS, 1);
+            telemetry.counter(names::JOURNAL_APPENDED_BYTES, (FRAME_HEADER + payload.len()) as u64);
+            telemetry.gauge(names::JOURNAL_LEN_BYTES, i64::try_from(self.len).unwrap_or(i64::MAX));
+        }
         Ok(())
+    }
+
+    /// The journal's file length in bytes after the last acknowledged
+    /// append (committed prefix only — a torn tail from a failed
+    /// append is not counted).
+    pub fn len_bytes(&self) -> u64 {
+        self.len
     }
 
     /// The journal's file path.
@@ -619,7 +645,11 @@ impl JournalIter {
         }
         file.seek(SeekFrom::Start(self.valid_len))
             .map_err(|e| JournalError::io("seek", &path, e))?;
-        Ok(Journal { file, path })
+        Ok(Journal {
+            file,
+            path,
+            len: self.valid_len,
+        })
     }
 
     /// Reads and validates the frame at the current position. `Ok(None)`

@@ -10,7 +10,10 @@
 //!
 //! Like the rest of the workspace, the crate has **no external
 //! dependencies** (mirroring the `vendor/` shim policy): framing,
-//! checksumming and serialization are implemented here directly.
+//! checksumming and serialization are implemented here directly. The
+//! only in-workspace dependency is `spe-telemetry`, through whose
+//! process-global sink each append reports its write/fsync latency
+//! and the journal's growth (a no-op unless a sink is installed).
 //!
 //! # Journal format
 //!

@@ -250,14 +250,26 @@ pub fn reduce(
     if witness.len() > source.len() {
         witness = source.to_string();
     }
-    Ok(Reduction {
+    let reduction = Reduction {
         reduced_bytes: witness.len(),
         witness,
         fingerprint: fp,
         original_bytes: source.len(),
         oracle_calls: sh.calls(),
         rounds,
-    })
+    };
+    let telemetry = spe_telemetry::global();
+    if telemetry.enabled() {
+        use spe_telemetry::names;
+        telemetry.histogram(names::REDUCE_ORACLE_CALLS, reduction.oracle_calls as u64);
+        telemetry.histogram(names::REDUCE_ROUNDS, reduction.rounds as u64);
+        telemetry.histogram(
+            names::REDUCE_SHRINK_X100,
+            (reduction.shrink_ratio() * 100.0) as u64,
+        );
+        telemetry.counter(names::REDUCE_REDUCED, 1);
+    }
+    Ok(reduction)
 }
 
 #[cfg(test)]

@@ -168,12 +168,19 @@ impl CompilerBackend for SimccBackend {
         cc: Compiler,
         wrong_code_fuel: Option<u64>,
     ) -> Result<Observation, BackendError> {
+        let telemetry = spe_telemetry::global();
         match spe_minic::parse(source) {
-            Err(_) => Ok(Observation {
-                unsupported: true,
-                ..Observation::default()
-            }),
-            Ok(p) => Ok(cc.observe(&p, wrong_code_fuel)),
+            Err(_) => {
+                telemetry.counter(spe_telemetry::names::SIMCC_PARSE_REJECTS, 1);
+                Ok(Observation {
+                    unsupported: true,
+                    ..Observation::default()
+                })
+            }
+            Ok(p) => {
+                telemetry.counter(spe_telemetry::names::SIMCC_OBSERVATIONS, 1);
+                Ok(cc.observe(&p, wrong_code_fuel))
+            }
         }
     }
 
@@ -183,9 +190,12 @@ impl CompilerBackend for SimccBackend {
         compilers: &[Compiler],
         wrong_code_fuel: Option<u64>,
     ) -> Result<Vec<Observation>, BackendError> {
+        let telemetry = spe_telemetry::global();
         let Ok(prog) = spe_minic::parse(source) else {
+            telemetry.counter(spe_telemetry::names::SIMCC_PARSE_REJECTS, 1);
             return Ok(Vec::new());
         };
+        telemetry.counter(spe_telemetry::names::SIMCC_OBSERVATIONS, compilers.len() as u64);
         // Parse once, evaluate the reference interpreter at most once:
         // the same amortization (and the same evaluation order) as the
         // direct campaign path, so observations — including the

@@ -29,6 +29,22 @@ use spe_subproc::{SubprocBackend, SubprocConfig};
 use std::collections::BTreeSet;
 use std::time::Duration;
 
+/// Runs one demo scenario under a `phase.<name>` telemetry span; the
+/// wall-clock lines printed at the end read these spans back, so the
+/// timings shown and the timings exported via `SPE_TRACE`/`SPE_METRICS`
+/// are the same numbers.
+fn phase<T>(name: &str, f: impl FnOnce() -> T) -> T {
+    let telemetry = spe_telemetry::global();
+    let timer = spe_telemetry::Timer::always();
+    let out = f();
+    telemetry.span(
+        &format!("{}{name}", spe_telemetry::names::PHASE_PREFIX),
+        "",
+        timer.stop_nanos(),
+    );
+    out
+}
+
 fn fakecc_path() -> String {
     if let Ok(path) = std::env::var("FAKECC_BIN") {
         return path;
@@ -44,6 +60,7 @@ fn fakecc_path() -> String {
 }
 
 fn main() {
+    let telemetry = spe_telemetry::Telemetry::install_from_env();
     let fakecc = fakecc_path();
     let workers = 2;
     let config = CampaignConfig {
@@ -60,12 +77,16 @@ fn main() {
     let files = spe_corpus::seeds::all();
 
     // 1. Differential parity against the in-process campaign.
-    let reference = run_campaign_parallel(&files, &config, workers);
+    let reference = phase("parity_reference", || {
+        run_campaign_parallel(&files, &config, workers)
+    });
     let mut subproc_config = SubprocConfig::new(vec![fakecc.clone()]);
     subproc_config.max_processes = workers;
     subproc_config.env = vec![("FAKECC_FUEL".into(), config.fuel.to_string())];
     let backend = SubprocBackend::new(subproc_config).expect("backend");
-    let external = run_campaign_parallel_with_backend(&files, &config, &backend, workers);
+    let external = phase("parity_subproc", || {
+        run_campaign_parallel_with_backend(&files, &config, &backend, workers)
+    });
 
     let wrong_code = |report: &spe_harness::CampaignReport| -> BTreeSet<String> {
         report
@@ -117,9 +138,10 @@ fn main() {
     hang_config.retries = 0;
     let hang = SubprocBackend::new(hang_config).expect("backend");
     let started = std::time::Instant::now();
-    let obs = hang
-        .observe_config("int main() { return 0; }", config.compilers[0], None)
-        .expect("timeout is a verdict, not a backend error");
+    let obs = phase("timeout_triage", || {
+        hang.observe_config("int main() { return 0; }", config.compilers[0], None)
+            .expect("timeout is a verdict, not a backend error")
+    });
     assert!(
         !obs.slow_compile.is_empty(),
         "hang should triage as slow-compile, got {obs:?}"
@@ -140,7 +162,9 @@ fn main() {
     let mut broken_config = SubprocConfig::new(vec!["/nonexistent/spe-demo-cc".into()]);
     broken_config.retries = 1;
     let broken = SubprocBackend::new(broken_config).expect("backend");
-    let degraded = run_campaign_parallel_with_backend(&files, &config, &broken, workers);
+    let degraded = phase("quarantine", || {
+        run_campaign_parallel_with_backend(&files, &config, &broken, workers)
+    });
     assert!(
         degraded
             .findings
@@ -156,5 +180,8 @@ fn main() {
         "quarantine: {} jobs degraded, campaign still completed",
         degraded.findings.len()
     );
+    for (name, ms) in telemetry.phases() {
+        println!("phase {name}: {ms:.1} ms");
+    }
     println!("subprocess-oracle smoke: OK");
 }

@@ -255,6 +255,8 @@ impl SubprocBackend {
 
     /// Spawns one attempt and waits for it, killing at the timeout.
     fn run_once(&self, cc: Compiler, source_path: &Path, job: &Path) -> std::io::Result<Outcome> {
+        let telemetry = spe_telemetry::global();
+        let run_timer = spe_telemetry::Timer::start(&*telemetry);
         let mut cmd = Command::new(&self.config.command[0]);
         cmd.args(&self.config.command[1..])
             .arg(format!("-O{}", cc.opt()))
@@ -270,6 +272,7 @@ impl SubprocBackend {
         }
         let mut child = cmd.spawn()?;
         self.launches.fetch_add(1, Ordering::Relaxed);
+        telemetry.counter(spe_telemetry::names::SUBPROC_LAUNCHES, 1);
         // Reader threads keep both pipes drained so a chatty child can
         // never deadlock against a full pipe buffer.
         let drain = |stream: Option<Box<dyn std::io::Read + Send>>| {
@@ -304,6 +307,7 @@ impl SubprocBackend {
                     let _ = child.kill();
                     let status = child.wait()?;
                     self.timeouts.fetch_add(1, Ordering::Relaxed);
+                    telemetry.counter(spe_telemetry::names::SUBPROC_TIMEOUTS, 1);
                     break (status, true);
                 }
                 None => std::thread::sleep(Duration::from_millis(2)),
@@ -311,6 +315,7 @@ impl SubprocBackend {
         };
         let stdout = out.join().unwrap_or_default();
         let stderr = err.join().unwrap_or_default();
+        telemetry.histogram(spe_telemetry::names::SUBPROC_RUN_NS, run_timer.stop_nanos());
         Ok(Outcome {
             status,
             timed_out,
@@ -444,6 +449,7 @@ impl CompilerBackend for SubprocBackend {
         for attempt in 0..=self.config.retries {
             if attempt > 0 {
                 self.retries.fetch_add(1, Ordering::Relaxed);
+                spe_telemetry::global().counter(spe_telemetry::names::SUBPROC_RETRIES, 1);
             }
             last = self.run_once(cc, &source_path, &job);
             match &last {
@@ -456,6 +462,7 @@ impl CompilerBackend for SubprocBackend {
             Err(e) => {
                 // Persistent machinery failure: the caller quarantines
                 // this job.
+                spe_telemetry::global().counter(spe_telemetry::names::SUBPROC_QUARANTINES, 1);
                 self.preserve(&job, "spawn failure");
                 Err(BackendError::new(format!(
                     "cannot launch {:?}: {e}",

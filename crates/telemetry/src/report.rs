@@ -1,0 +1,164 @@
+//! The deterministic end-of-run telemetry summary.
+//!
+//! [`TelemetryReport`] is deliberately a **separate artifact** from
+//! the campaign's `CampaignReport`: the latter derives `PartialEq`
+//! and is compared byte-for-byte across worker counts and kill/resume
+//! histories, and wall-clock latencies can never be part of that
+//! contract. The report's *schema and ordering* are deterministic
+//! (names sort, quantiles always render); its duration values are
+//! not, and that is the point of keeping it out of report equality.
+
+use std::fmt;
+
+use crate::recorder::{Recorder, Snapshot};
+
+/// Summary statistics for one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+}
+
+/// A name-ordered, render-stable summary of everything a
+/// [`Recorder`] aggregated over a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Counter totals, name-ordered.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, last, max)`, name-ordered.
+    pub gauges: Vec<(String, i64, i64)>,
+    /// Histogram summaries, name-ordered.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl TelemetryReport {
+    /// Builds the report from a snapshot.
+    pub fn from_snapshot(snap: &Snapshot) -> TelemetryReport {
+        TelemetryReport {
+            counters: snap.counters.iter().map(|(n, v)| (n.clone(), *v)).collect(),
+            gauges: snap
+                .gauges
+                .iter()
+                .map(|(n, g)| (n.clone(), g.last, g.max))
+                .collect(),
+            histograms: snap
+                .histograms
+                .iter()
+                .map(|(n, h)| HistogramSummary {
+                    name: n.clone(),
+                    count: h.count,
+                    sum: h.sum,
+                    min: h.min,
+                    max: h.max,
+                    mean: h.mean(),
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
+                    p99: h.quantile(0.99),
+                })
+                .collect(),
+        }
+    }
+
+    /// Snapshots `recorder` and builds the report.
+    pub fn from_recorder(recorder: &Recorder) -> TelemetryReport {
+        TelemetryReport::from_snapshot(&recorder.snapshot())
+    }
+
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+fn fmt_scaled(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+impl fmt::Display for TelemetryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "telemetry: nothing recorded");
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "counters:")?;
+            for (name, v) in &self.counters {
+                writeln!(f, "  {name:<32} {v}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(f, "gauges (last / max):")?;
+            for (name, last, max) in &self.gauges {
+                writeln!(f, "  {name:<32} {last} / {max}")?;
+            }
+        }
+        if !self.histograms.is_empty() {
+            writeln!(
+                f,
+                "histograms:\n  {:<32} {:>9} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "p50", "p99", "max"
+            )?;
+            for h in &self.histograms {
+                writeln!(
+                    f,
+                    "  {:<32} {:>9} {:>10} {:>10} {:>10} {:>10}",
+                    h.name,
+                    h.count,
+                    fmt_scaled(h.mean),
+                    fmt_scaled(h.p50),
+                    fmt_scaled(h.p99),
+                    fmt_scaled(h.max as f64),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sink;
+
+    #[test]
+    fn report_is_name_ordered_and_renders() {
+        let r = Recorder::new();
+        r.counter("z.last", 1);
+        r.counter("a.first", 2);
+        r.gauge("depth", 5);
+        r.histogram("lat", 10);
+        let rep = TelemetryReport::from_recorder(&r);
+        assert_eq!(rep.counters[0].0, "a.first");
+        assert_eq!(rep.counters[1].0, "z.last");
+        assert_eq!(rep.gauges, vec![("depth".into(), 5, 5)]);
+        assert_eq!(rep.histograms[0].count, 1);
+        let text = rep.to_string();
+        assert!(text.contains("a.first"), "{text}");
+        assert!(text.contains("histograms:"), "{text}");
+        assert!(!rep.is_empty());
+        assert!(TelemetryReport::default().is_empty());
+    }
+}

@@ -15,4 +15,5 @@ pub use spe_report as report;
 pub use spe_simcc as simcc;
 pub use spe_skeleton as skeleton;
 pub use spe_subproc as subproc;
+pub use spe_telemetry as telemetry;
 pub use spe_while as while_lang;

@@ -1,0 +1,148 @@
+//! Telemetry determinism suite: every sink is write-only, so an
+//! instrumented campaign must produce a `CampaignReport` byte-identical
+//! to the same campaign under the default `NullSink` — at every worker
+//! count, and across a kill/resume cycle. Each check also asserts the
+//! recorder actually observed the run (non-zero variant counter), so a
+//! silently-uninstalled sink cannot fake a pass.
+//!
+//! The global sink is process-wide state, so every test (and every
+//! proptest case) serializes through one mutex.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use spe::corpus::{generate, seeds, CorpusConfig};
+use spe::harness::checkpoint::{
+    resume_campaign, run_campaign_checkpointed, CampaignStatus, CheckpointOptions,
+};
+use spe::harness::{run_campaign_parallel, CampaignConfig, CampaignReport};
+use spe::simcc::{Compiler, CompilerId};
+use spe::telemetry::{names, Recorder};
+
+/// Serializes access to the process-wide telemetry sink.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig {
+        compilers: vec![
+            Compiler::new(CompilerId::gcc(485), 0),
+            Compiler::new(CompilerId::gcc(485), 3),
+            Compiler::new(CompilerId::clang(360), 3),
+        ],
+        budget: 20,
+        algorithm: spe::core::Algorithm::Paper,
+        check_wrong_code: false,
+        fuel: 10_000,
+    }
+}
+
+fn workload(seed: u64) -> Vec<spe::corpus::TestFile> {
+    let mut files = seeds::all();
+    files.extend(generate(&CorpusConfig { files: 6, seed }));
+    files
+}
+
+/// Runs `f` with a fresh global [`Recorder`] installed, restoring the
+/// previous sink afterwards; returns the result and the recorder.
+fn with_recorder<T>(f: impl FnOnce() -> T) -> (T, Arc<Recorder>) {
+    let recorder = Arc::new(Recorder::new());
+    let prev = spe::telemetry::install_recorder(recorder.clone(), Vec::new());
+    let out = f();
+    spe::telemetry::uninstall_recorder(prev);
+    (out, recorder)
+}
+
+#[test]
+fn instrumented_reports_are_byte_identical_at_every_worker_count() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    let files = workload(7);
+    let config = campaign_config();
+    let baseline = run_campaign_parallel(&files, &config, 1);
+    for workers in [1usize, 2, 4, 16] {
+        let (instrumented, recorder) =
+            with_recorder(|| run_campaign_parallel(&files, &config, workers));
+        assert_eq!(
+            instrumented, baseline,
+            "{workers}-worker instrumented report diverged from the NullSink baseline"
+        );
+        assert!(
+            recorder.counter_value(names::VARIANTS) > 0,
+            "{workers}-worker run recorded no variants — instrumentation not live"
+        );
+    }
+}
+
+#[test]
+fn instrumented_kill_resume_cycle_is_byte_identical() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    let files = workload(11);
+    let config = campaign_config();
+    let reference = run_campaign_parallel(&files, &config, 2);
+    let resume_instrumented = |workers: usize| -> (CampaignReport, Arc<Recorder>) {
+        let path = std::env::temp_dir().join(format!(
+            "spe-telemetry-identity-{}-{workers}.journal",
+            std::process::id()
+        ));
+        let (report, recorder) = with_recorder(|| {
+            let stop_after = (reference.variants_tested
+                / config.compilers.len().max(1) as u64
+                / 2)
+            .max(1);
+            let status = run_campaign_checkpointed(
+                &files,
+                &config,
+                workers,
+                &path,
+                &CheckpointOptions {
+                    every: 16,
+                    stop_after: Some(stop_after),
+                },
+            )
+            .expect("journal is writable");
+            assert!(
+                matches!(status, CampaignStatus::Interrupted),
+                "kill budget must preempt the campaign"
+            );
+            resume_campaign(&path, workers, &CheckpointOptions::default())
+                .expect("journal resumes")
+                .into_report()
+                .expect("resume completes")
+        });
+        std::fs::remove_file(&path).ok();
+        (report, recorder)
+    };
+    for workers in [1usize, 4] {
+        let (resumed, recorder) = resume_instrumented(workers);
+        assert_eq!(
+            resumed, reference,
+            "{workers}-worker instrumented kill/resume diverged"
+        );
+        assert!(
+            recorder.counter_value(names::VARIANTS) > 0,
+            "kill/resume cycle recorded no variants"
+        );
+        assert!(
+            recorder.counter_value(names::JOURNAL_APPENDS) > 0,
+            "checkpointed run recorded no journal appends"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// For random corpus seeds and worker widths, instrumentation never
+    /// changes the report: the recorder is write-only by construction
+    /// and this pins it.
+    #[test]
+    fn instrumentation_never_perturbs_reports(seed in 0u64..5_000, workers in 1usize..6) {
+        let _guard = TELEMETRY_LOCK.lock().unwrap();
+        let files = workload(seed);
+        let config = campaign_config();
+        let baseline = run_campaign_parallel(&files, &config, 1);
+        let (instrumented, recorder) =
+            with_recorder(|| run_campaign_parallel(&files, &config, workers));
+        prop_assert_eq!(instrumented, baseline);
+        prop_assert!(recorder.counter_value(names::VARIANTS) > 0);
+    }
+}
