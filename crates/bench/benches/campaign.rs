@@ -18,7 +18,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spe_corpus::{generate, seeds, CorpusConfig, TestFile};
-use spe_harness::{run_campaign_parallel, CampaignConfig};
+use spe_harness::{
+    run_campaign_parallel, run_campaign_parallel_with_path, CampaignConfig, OraclePath,
+};
 use spe_simcc::{Compiler, CompilerId};
 use spe_telemetry::{names, Recorder};
 
@@ -73,6 +75,17 @@ fn bench_campaign(c: &mut Criterion) {
         });
         spe_telemetry::uninstall_recorder(prev);
     });
+    // The historical render→parse→compile round trip, kept as a live
+    // baseline so the incremental speedup is measured on the same host
+    // in the same run.
+    group.bench_function("workers1_roundtrip", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                run_campaign_parallel_with_path(&files, &config, 1, OraclePath::RoundTrip)
+                    .variants_tested,
+            )
+        })
+    });
     group.finish();
 
     // One instrumented pass for the recorded throughput summary.
@@ -102,6 +115,22 @@ fn bench_campaign(c: &mut Criterion) {
             h.mean() / 1e3,
         );
     }
+    // Smoke check: the default entry point must be running on the
+    // splice cache — a silent fallback to the round trip would make the
+    // timing rows above meaningless.
+    let splice_hits = recorder.counter_value(names::ORACLE_SPLICE_HITS);
+    let splice_misses = recorder.counter_value(names::ORACLE_SPLICE_MISSES);
+    assert!(
+        splice_hits > 0,
+        "default campaign path did not engage the incremental oracle"
+    );
+    let memo_hits = recorder.counter_value(names::ORACLE_PIPELINE_MEMO_HITS);
+    let memo_misses = recorder.counter_value(names::ORACLE_PIPELINE_MEMO_MISSES);
+    eprintln!(
+        "oracle cache: splice {splice_hits} delta / {splice_misses} full ({:.1}% hit), \
+         pipeline memo {memo_hits} hit / {memo_misses} miss",
+        100.0 * splice_hits as f64 / (splice_hits + splice_misses).max(1) as f64,
+    );
 }
 
 criterion_group!(benches, bench_campaign);

@@ -38,7 +38,7 @@ use spe_combinatorics::{
     paper_solutions, rgs_unrank, ConstrainedRgs, Fillings, GeneralInstance, RgsShard,
 };
 pub use spe_skeleton::{
-    Granularity, NameId, NameTable, RenderTemplate, Skeleton, SkeletonError, TypeGroup, Unit,
+    Granularity, Hole, NameId, NameTable, RenderTemplate, Skeleton, SkeletonError, TypeGroup, Unit,
 };
 use std::ops::ControlFlow;
 use std::ops::Range;
@@ -111,6 +111,28 @@ impl Variant {
     /// (cleared first) — the allocation-free hot path.
     pub fn render_into(&self, sk: &Skeleton, out: &mut String) {
         sk.render_into(&self.names, out);
+    }
+
+    /// Collects into `out` (cleared first) the hole indices whose names
+    /// differ between `prev` and this variant.
+    ///
+    /// Consecutive variants in emission order differ by a single
+    /// odometer digit, so the delta is almost always one index — this
+    /// is what lets an incremental oracle resplice only the changed
+    /// bindings instead of reprocessing the whole program. A `prev` of
+    /// different length (e.g. the first variant after a skeleton
+    /// boundary) yields every hole index.
+    pub fn changed_holes_into(&self, prev: &[NameId], out: &mut Vec<usize>) {
+        out.clear();
+        if prev.len() != self.names.len() {
+            out.extend(0..self.names.len());
+            return;
+        }
+        for (h, (&old, &new)) in prev.iter().zip(&self.names).enumerate() {
+            if old != new {
+                out.push(h);
+            }
+        }
     }
 }
 

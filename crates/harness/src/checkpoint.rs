@@ -51,7 +51,8 @@ use crate::orchestrate::{self, FaultPolicy, Outcome, Spec};
 use crate::reduction::{attach_and_dedup, reduce_one_isolated, ReducedWitness, ReductionOptions};
 use crate::steal::WorkQueue;
 use crate::{
-    merge_outputs, CampaignConfig, CampaignReport, Finding, FindingKind, Oracle, ShardOutput,
+    merge_outputs, CampaignConfig, CampaignReport, Finding, FindingKind, Oracle, OraclePath,
+    ShardOutput,
 };
 use spe_core::Algorithm;
 use spe_corpus::TestFile;
@@ -599,13 +600,39 @@ pub fn run_campaign_checkpointed(
     path: impl AsRef<Path>,
     options: &CheckpointOptions,
 ) -> Result<CampaignStatus, CheckpointError> {
+    run_campaign_checkpointed_with_path(
+        files,
+        config,
+        workers,
+        path,
+        options,
+        OraclePath::default(),
+    )
+}
+
+/// [`run_campaign_checkpointed`] on an explicit [`crate::OraclePath`].
+/// Both paths record the same backend identity in the journal manifest,
+/// so a journal written on one path resumes on the other (and the final
+/// report stays byte-identical either way).
+///
+/// # Errors
+///
+/// As [`run_campaign_checkpointed`].
+pub fn run_campaign_checkpointed_with_path(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: impl AsRef<Path>,
+    options: &CheckpointOptions,
+    oracle_path: OraclePath,
+) -> Result<CampaignStatus, CheckpointError> {
     run_checkpointed_supervised(
         files,
         config,
         workers,
         path.as_ref(),
         options,
-        Oracle::Direct,
+        oracle_path.oracle(),
         FaultPolicy::default(),
     )
     .map(warn_and_unwrap)
@@ -678,11 +705,30 @@ pub fn resume_campaign(
     workers: usize,
     options: &CheckpointOptions,
 ) -> Result<CampaignStatus, CheckpointError> {
+    resume_campaign_with_path(path, workers, options, OraclePath::default())
+}
+
+/// [`resume_campaign`] on an explicit [`crate::OraclePath`]. A resume
+/// may use a different path than the run that wrote the journal — the
+/// two strategies share one backend identity and produce identical
+/// observations, so the replayed prefix and recomputed suffix always
+/// agree (the identity suite alternates paths across kill points to pin
+/// this).
+///
+/// # Errors
+///
+/// As [`resume_campaign`].
+pub fn resume_campaign_with_path(
+    path: impl AsRef<Path>,
+    workers: usize,
+    options: &CheckpointOptions,
+    oracle_path: OraclePath,
+) -> Result<CampaignStatus, CheckpointError> {
     resume_supervised(
         path.as_ref(),
         workers,
         options,
-        Oracle::Direct,
+        oracle_path.oracle(),
         FaultPolicy::default(),
     )
     .map(warn_and_unwrap)

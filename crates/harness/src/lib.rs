@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 
 use spe_core::{
-    Algorithm, EnumeratorConfig, Granularity, ShardedEnumerator, Skeleton, VariantSpace,
+    Algorithm, EnumeratorConfig, Granularity, NameId, ShardedEnumerator, Skeleton, Variant,
+    VariantSpace,
 };
 use spe_corpus::TestFile;
 use spe_simcc::backend::{intern, BackendError, CompilerBackend};
-use spe_simcc::{interp, CompileError, Compiler, CompilerId};
+use spe_simcc::incremental::{CacheStats, CachedOracle};
+use spe_simcc::{interp, CompileError, Compiler, CompilerId, Observation};
 use spe_telemetry::{names, Sink as TelemetrySink, Timer};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
@@ -42,9 +44,40 @@ pub mod steal;
 pub mod triage;
 
 pub use checkpoint::{
-    resume_campaign, run_campaign_checkpointed, CampaignStatus, CheckpointError, CheckpointOptions,
+    resume_campaign, resume_campaign_with_path, run_campaign_checkpointed,
+    run_campaign_checkpointed_with_path, CampaignStatus, CheckpointError, CheckpointOptions,
 };
 pub use reduction::ReducedWitness;
+
+/// Which per-variant execution strategy the in-process oracle uses.
+/// Both produce byte-identical [`CampaignReport`]s on the same inputs
+/// (pinned by `tests/oracle_identity.rs` at every worker count,
+/// including kill/resume histories that alternate paths); they differ
+/// only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OraclePath {
+    /// Splice-don't-reparse ([`spe_simcc::incremental`]): each (file,
+    /// shard) job parses its first rendered variant once and splices
+    /// every later variant's name bindings directly into the cached AST,
+    /// memoizing pass-pipeline results across configurations. The
+    /// default — roughly an order of magnitude faster on
+    /// enumeration-heavy campaigns.
+    #[default]
+    Incremental,
+    /// The historical render → lex → parse → compile round trip for
+    /// every variant. The reference implementation the identity suite
+    /// compares against; also useful to isolate cache bugs.
+    RoundTrip,
+}
+
+impl OraclePath {
+    pub(crate) fn oracle(self) -> Oracle<'static> {
+        match self {
+            OraclePath::Incremental => Oracle::Incremental,
+            OraclePath::RoundTrip => Oracle::Direct,
+        }
+    }
+}
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -308,15 +341,24 @@ fn process_variant(file: &TestFile, src: &str, config: &CampaignConfig, out: &mu
 }
 
 /// How a campaign reaches its oracle: the direct in-process path (the
-/// historical [`process_variant`] code, byte-for-byte), or dispatch
-/// through a [`CompilerBackend`]. The two are proven byte-identical for
-/// the in-process backend by `tests/backend_identity.rs`; keeping the
-/// direct arm intact is what makes that test a real two-implementation
-/// comparison and the default path zero-risk.
+/// historical [`process_variant`] code, byte-for-byte), dispatch
+/// through a [`CompilerBackend`], or the incremental splice-don't-reparse
+/// path ([`spe_simcc::incremental`]). Direct and backend dispatch are
+/// proven byte-identical for the in-process backend by
+/// `tests/backend_identity.rs`; incremental and round-trip are proven
+/// byte-identical by `tests/oracle_identity.rs`. Keeping the direct arm
+/// intact is what makes both suites real two-implementation comparisons.
 #[derive(Clone, Copy)]
 pub(crate) enum Oracle<'a> {
-    /// `spe_simcc` called in-process, no trait dispatch.
+    /// `spe_simcc` called in-process, no trait dispatch: render → parse
+    /// → compile for every variant (the round-trip reference path).
     Direct,
+    /// `spe_simcc` through a per-job [`IncrementalSession`]: the
+    /// skeleton's AST is parsed once and each variant's name bindings
+    /// are spliced in. Journal-compatible with [`Oracle::Direct`] (same
+    /// backend identity), so a checkpointed campaign can alternate paths
+    /// across kill/resume cycles.
+    Incremental,
     /// Any [`CompilerBackend`], including the in-process one.
     Backend(&'a dyn CompilerBackend),
 }
@@ -325,7 +367,12 @@ impl Oracle<'_> {
     /// The backend id recorded in checkpoint-journal manifests.
     pub(crate) fn backend_id(&self) -> String {
         match self {
-            Oracle::Direct => spe_simcc::backend::SIMCC_BACKEND_ID.to_string(),
+            // Incremental and direct are two execution strategies of the
+            // same oracle semantics — they share one identity, so their
+            // journals resume interchangeably.
+            Oracle::Direct | Oracle::Incremental => {
+                spe_simcc::backend::SIMCC_BACKEND_ID.to_string()
+            }
             Oracle::Backend(b) => b.id().to_string(),
         }
     }
@@ -333,8 +380,20 @@ impl Oracle<'_> {
     /// The backend configuration hash recorded next to the id.
     pub(crate) fn config_hash(&self) -> u64 {
         match self {
-            Oracle::Direct => spe_simcc::backend::SIMCC_CONFIG_HASH,
+            Oracle::Direct | Oracle::Incremental => spe_simcc::backend::SIMCC_CONFIG_HASH,
             Oracle::Backend(b) => b.config_hash(),
+        }
+    }
+
+    /// The per-job incremental session for this oracle, `None` for the
+    /// round-trip paths. Created at each (file, shard) job's start and
+    /// dropped at its end, so cached AST state can never cross a job
+    /// boundary (work stealing, checkpoint/resume, and panic quarantine
+    /// all see exactly the state the round-trip oracle would).
+    pub(crate) fn session<'s>(&self, sk: &'s Skeleton) -> Option<IncrementalSession<'s>> {
+        match self {
+            Oracle::Incremental => Some(IncrementalSession::new(sk)),
+            _ => None,
         }
     }
 
@@ -354,49 +413,7 @@ impl Oracle<'_> {
         out: &mut ShardOutput,
         telemetry: &dyn TelemetrySink,
     ) -> Result<(), BackendError> {
-        if !telemetry.enabled() {
-            return self.dispatch(file, src, config, out);
-        }
-        let before = (
-            out.candidates.len(),
-            out.variants_tested,
-            out.variants_ub_skipped,
-        );
-        let timer = Timer::start(telemetry);
-        let result = self.dispatch(file, src, config, out);
-        let nanos = timer.stop_nanos();
-        // The verdict drives which latency histogram the observation
-        // lands in; a variant producing several findings is classified
-        // by its first (emission order matches the direct path).
-        match &result {
-            Ok(()) => {
-                let verdict = if let Some(f) = out.candidates.get(before.0) {
-                    match f.kind {
-                        FindingKind::WrongCode => names::ORACLE_NS_WRONG_CODE,
-                        FindingKind::Performance => names::ORACLE_NS_PERFORMANCE,
-                        _ => names::ORACLE_NS_CRASH,
-                    }
-                } else if out.variants_ub_skipped > before.2 {
-                    names::ORACLE_NS_UB_SKIP
-                } else if out.variants_tested > before.1 {
-                    names::ORACLE_NS_CLEAN
-                } else {
-                    names::ORACLE_NS_UNSUPPORTED
-                };
-                telemetry.histogram(verdict, nanos);
-            }
-            Err(_) => telemetry.counter(names::DEGRADED, 1),
-        }
-        telemetry.counter(names::VARIANTS, out.variants_tested - before.1);
-        let candidates = (out.candidates.len() - before.0) as u64;
-        if candidates > 0 {
-            telemetry.counter(names::CANDIDATES, candidates);
-        }
-        let ub = out.variants_ub_skipped - before.2;
-        if ub > 0 {
-            telemetry.counter(names::UB_SKIPS, ub);
-        }
-        result
+        process_timed(telemetry, out, |out| self.dispatch(file, src, config, out))
     }
 
     fn dispatch(
@@ -407,13 +424,72 @@ impl Oracle<'_> {
         out: &mut ShardOutput,
     ) -> Result<(), BackendError> {
         match self {
-            Oracle::Direct => {
+            // Without a per-job session (the reduction stage, or a job
+            // that fell back), the incremental oracle degenerates to the
+            // direct path — same semantics, no cache.
+            Oracle::Direct | Oracle::Incremental => {
                 process_variant(file, src, config, out);
                 Ok(())
             }
             Oracle::Backend(b) => process_variant_backend(file, src, config, *b, out),
         }
     }
+}
+
+/// Runs one per-variant oracle invocation `f`, recording its latency
+/// into the per-verdict oracle histogram (`oracle_ns.<verdict>`) and the
+/// campaign counters of `telemetry` when the sink is enabled. The shared
+/// instrumentation seam of [`Oracle::process_variant`] and
+/// [`IncrementalSession::process_variant`]: exactly one histogram sample
+/// per variant, whichever execution path produced the observations.
+fn process_timed(
+    telemetry: &dyn TelemetrySink,
+    out: &mut ShardOutput,
+    f: impl FnOnce(&mut ShardOutput) -> Result<(), BackendError>,
+) -> Result<(), BackendError> {
+    if !telemetry.enabled() {
+        return f(out);
+    }
+    let before = (
+        out.candidates.len(),
+        out.variants_tested,
+        out.variants_ub_skipped,
+    );
+    let timer = Timer::start(telemetry);
+    let result = f(out);
+    let nanos = timer.stop_nanos();
+    // The verdict drives which latency histogram the observation
+    // lands in; a variant producing several findings is classified
+    // by its first (emission order matches the direct path).
+    match &result {
+        Ok(()) => {
+            let verdict = if let Some(f) = out.candidates.get(before.0) {
+                match f.kind {
+                    FindingKind::WrongCode => names::ORACLE_NS_WRONG_CODE,
+                    FindingKind::Performance => names::ORACLE_NS_PERFORMANCE,
+                    _ => names::ORACLE_NS_CRASH,
+                }
+            } else if out.variants_ub_skipped > before.2 {
+                names::ORACLE_NS_UB_SKIP
+            } else if out.variants_tested > before.1 {
+                names::ORACLE_NS_CLEAN
+            } else {
+                names::ORACLE_NS_UNSUPPORTED
+            };
+            telemetry.histogram(verdict, nanos);
+        }
+        Err(_) => telemetry.counter(names::DEGRADED, 1),
+    }
+    telemetry.counter(names::VARIANTS, out.variants_tested - before.1);
+    let candidates = (out.candidates.len() - before.0) as u64;
+    if candidates > 0 {
+        telemetry.counter(names::CANDIDATES, candidates);
+    }
+    let ub = out.variants_ub_skipped - before.2;
+    if ub > 0 {
+        telemetry.counter(names::UB_SKIPS, ub);
+    }
+    result
 }
 
 /// [`process_variant`] through a [`CompilerBackend`]: one
@@ -443,7 +519,25 @@ fn process_variant_backend(
             config.compilers.len()
         )));
     }
-    for (cc, obs) in config.compilers.iter().zip(&observations) {
+    emit_observations(file, src, config, &observations, out);
+    Ok(())
+}
+
+/// Turns per-configuration [`Observation`]s into findings and counter
+/// deltas, in the exact emission order of the direct path (crash, then
+/// per-bug performance, then wrong code, per configuration in order).
+/// The one emission definition shared by backend dispatch and the
+/// incremental session — the two observation-producing paths cannot
+/// drift apart from each other (and `tests/backend_identity.rs` /
+/// `tests/oracle_identity.rs` pin both against the direct path).
+fn emit_observations(
+    file: &TestFile,
+    src: &str,
+    config: &CampaignConfig,
+    observations: &[Observation],
+    out: &mut ShardOutput,
+) {
+    for (cc, obs) in config.compilers.iter().zip(observations) {
         out.variants_tested += 1;
         if let Some(ice) = &obs.ice {
             out.candidates.push(Finding {
@@ -505,7 +599,127 @@ fn process_variant_backend(
             }
         }
     }
-    Ok(())
+}
+
+/// The per-(file, shard)-job state of the incremental oracle path: one
+/// [`CachedOracle`] anchored on the job's first rendered variant, plus
+/// the previous variant's bindings for hole-delta computation.
+///
+/// The session parses the *first variant it processes* (not the
+/// skeleton's normalized program), so the cached AST is exactly what the
+/// round-trip path would parse for it; every later variant differs only
+/// in identifier spellings at hole slots, which is precisely what
+/// [`CachedOracle::observe_variant`] splices (see
+/// [`spe_simcc::incremental`] for the identity argument). If the first
+/// variant does not parse, or a hole cannot be mapped into the parsed
+/// AST, the session permanently falls back to the round-trip path for
+/// the job — identical behavior by construction.
+pub(crate) struct IncrementalSession<'s> {
+    sk: &'s Skeleton,
+    cache: Option<CachedOracle>,
+    /// Permanent round-trip fallback for this job.
+    fallback: bool,
+    /// Whether the first variant has been seen (and the cache built).
+    started: bool,
+    /// The previous variant's hole bindings — the delta baseline.
+    prev: Vec<NameId>,
+    /// Scratch: indices of holes whose binding changed since `prev`.
+    changed: Vec<usize>,
+    /// Scratch: the current variant's spellings, hole-indexed.
+    spellings: Vec<&'s str>,
+    /// Stats snapshot at the last telemetry emission.
+    last_stats: CacheStats,
+}
+
+impl<'s> IncrementalSession<'s> {
+    pub(crate) fn new(sk: &'s Skeleton) -> IncrementalSession<'s> {
+        IncrementalSession {
+            sk,
+            cache: None,
+            fallback: false,
+            started: false,
+            prev: Vec::new(),
+            changed: Vec::new(),
+            spellings: Vec::new(),
+            last_stats: CacheStats::default(),
+        }
+    }
+
+    /// [`Oracle::process_variant`] through the splice cache: identical
+    /// findings and counters, one `oracle_ns.<verdict>` histogram sample,
+    /// plus the `oracle_cache.*` effectiveness counters.
+    pub(crate) fn process_variant(
+        &mut self,
+        variant: &Variant,
+        file: &TestFile,
+        src: &str,
+        config: &CampaignConfig,
+        out: &mut ShardOutput,
+        telemetry: &dyn TelemetrySink,
+    ) -> Result<(), BackendError> {
+        if self.fallback {
+            return Oracle::Direct.process_variant(file, src, config, out, telemetry);
+        }
+        if !self.started {
+            self.started = true;
+            let built = spe_minic::parse(src).ok().and_then(|prog| {
+                let occs: Vec<_> = self.sk.hole_occs().collect();
+                CachedOracle::new(
+                    prog,
+                    &occs,
+                    &config.compilers,
+                    config.check_wrong_code,
+                    config.fuel,
+                )
+            });
+            match built {
+                Some(cache) => self.cache = Some(cache),
+                None => {
+                    // Unparsable render (then every variant is equally
+                    // unparsable and the round trip skips them all) or
+                    // an unmappable hole: take the round-trip path for
+                    // the whole job.
+                    self.fallback = true;
+                    return Oracle::Direct.process_variant(file, src, config, out, telemetry);
+                }
+            }
+        }
+        self.spellings.clear();
+        let table = self.sk.names();
+        for &id in &variant.names {
+            self.spellings.push(table.name(id));
+        }
+        variant.changed_holes_into(&self.prev, &mut self.changed);
+        self.prev.clone_from(&variant.names);
+        let cache = self.cache.as_mut().expect("cache built above");
+        let (spellings, changed) = (&self.spellings, &self.changed);
+        process_timed(telemetry, out, |out| {
+            let observations = cache.observe_variant(spellings, Some(changed));
+            emit_observations(file, src, config, observations, out);
+            Ok(())
+        })?;
+        if telemetry.enabled() {
+            let stats = self.cache.as_ref().expect("cache built above").stats();
+            let last = std::mem::replace(&mut self.last_stats, stats);
+            for (name, delta) in [
+                (names::ORACLE_SPLICE_HITS, stats.splice_delta - last.splice_delta),
+                (names::ORACLE_SPLICE_MISSES, stats.splice_full - last.splice_full),
+                (
+                    names::ORACLE_PIPELINE_MEMO_HITS,
+                    stats.pipeline_memo_hits - last.pipeline_memo_hits,
+                ),
+                (
+                    names::ORACLE_PIPELINE_MEMO_MISSES,
+                    stats.pipeline_memo_misses - last.pipeline_memo_misses,
+                ),
+            ] {
+                if delta > 0 {
+                    telemetry.counter(name, delta);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The quarantine record of a (file, shard) job whose oracle backend
@@ -647,12 +861,21 @@ fn process_file_shard(
         ..ShardOutput::default()
     };
     let telemetry = spe_telemetry::global();
+    // Per-job incremental session (when the oracle is incremental):
+    // created here, dropped when the shard completes.
+    let mut session = oracle.session(sk);
     campaign_enumerator(config, shards_per_file).enumerate_shard_prepared(
         space,
         shard,
         &mut |variant| {
             variant.render_into(sk, buf);
-            match oracle.process_variant(file, buf, config, &mut out, &*telemetry) {
+            let result = match session.as_mut() {
+                Some(sess) => {
+                    sess.process_variant(variant, file, buf, config, &mut out, &*telemetry)
+                }
+                None => oracle.process_variant(file, buf, config, &mut out, &*telemetry),
+            };
+            match result {
                 Ok(()) => ControlFlow::Continue(()),
                 Err(e) => {
                     out.candidates.push(degraded_finding(file, shard, buf, config, &e));
@@ -690,8 +913,22 @@ fn merge_outputs(outputs: Vec<ShardOutput>) -> CampaignReport {
 /// Crash detection needs only compilation; the wrong-code oracle runs the
 /// UB-checking reference interpreter first and skips undefined variants,
 /// exactly as §5.4 prescribes.
+///
+/// Runs on the incremental oracle path ([`OraclePath::Incremental`]);
+/// use [`run_campaign_with_path`] to force the round trip.
 pub fn run_campaign(files: &[TestFile], config: &CampaignConfig) -> CampaignReport {
-    run_campaign_oracle(files, config, Oracle::Direct)
+    run_campaign_oracle(files, config, Oracle::Incremental)
+}
+
+/// [`run_campaign`] on an explicit [`OraclePath`]. Reports are
+/// byte-identical across paths; the differential identity suite runs
+/// both and compares.
+pub fn run_campaign_with_path(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    path: OraclePath,
+) -> CampaignReport {
+    run_campaign_oracle(files, config, path.oracle())
 }
 
 /// [`run_campaign`] with the oracle dispatched through a
@@ -750,11 +987,22 @@ pub fn run_campaign_parallel(
     config: &CampaignConfig,
     workers: usize,
 ) -> CampaignReport {
+    run_campaign_parallel_with_path(files, config, workers, OraclePath::Incremental)
+}
+
+/// [`run_campaign_parallel`] on an explicit [`OraclePath`]. Reports are
+/// byte-identical across paths and worker counts.
+pub fn run_campaign_parallel_with_path(
+    files: &[TestFile],
+    config: &CampaignConfig,
+    workers: usize,
+    path: OraclePath,
+) -> CampaignReport {
     complete_report(orchestrate::campaign_oracle(
         files,
         config,
         workers,
-        Oracle::Direct,
+        path.oracle(),
         orchestrate::FaultPolicy::default(),
     ))
 }

@@ -323,6 +323,12 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
                     let mut rollback = (0usize, 0u64, 0u64);
                     let panic_payload = if let Some((sk, space)) = space {
                         let enumerator = crate::campaign_enumerator(config, shards_per_file);
+                        // Per-job incremental session (None on the
+                        // round-trip paths): built lazily from the job's
+                        // first variant inside the panic guard, dropped
+                        // at job end — cached AST state cannot outlive
+                        // the job or leak into a quarantined sibling.
+                        let mut session = oracle.session(sk);
                         catch_unwind(AssertUnwindSafe(|| {
                             enumerator.enumerate_shard_resumed_prepared(
                                 space,
@@ -334,9 +340,15 @@ pub(crate) fn run(spec: Spec<'_>) -> Outcome {
                                         return ControlFlow::Break(());
                                     }
                                     variant.render_into(sk, &mut buf);
-                                    if let Err(e) = oracle
-                                        .process_variant(file, &buf, config, &mut delta, telemetry)
-                                    {
+                                    let result = match session.as_mut() {
+                                        Some(sess) => sess.process_variant(
+                                            variant, file, &buf, config, &mut delta, telemetry,
+                                        ),
+                                        None => oracle.process_variant(
+                                            file, &buf, config, &mut delta, telemetry,
+                                        ),
+                                    };
+                                    if let Err(e) = result {
                                         // Backend machinery failure:
                                         // quarantine the job (degraded
                                         // finding + JobDone below) and
@@ -473,7 +485,7 @@ pub fn campaign(
     workers: usize,
     policy: &FaultPolicy,
 ) -> Outcome {
-    campaign_oracle(files, config, workers, Oracle::Direct, *policy)
+    campaign_oracle(files, config, workers, Oracle::Incremental, *policy)
 }
 
 /// [`campaign`] with the oracle dispatched through a
@@ -533,7 +545,7 @@ pub fn campaign_checkpointed(
         workers,
         path.as_ref(),
         options,
-        Oracle::Direct,
+        Oracle::Incremental,
         *policy,
     )
 }
@@ -578,7 +590,13 @@ pub fn resume(
     options: &CheckpointOptions,
     policy: &FaultPolicy,
 ) -> Result<Outcome, CheckpointError> {
-    crate::checkpoint::resume_supervised(path.as_ref(), workers, options, Oracle::Direct, *policy)
+    crate::checkpoint::resume_supervised(
+        path.as_ref(),
+        workers,
+        options,
+        Oracle::Incremental,
+        *policy,
+    )
 }
 
 /// [`resume`] for journals recorded under a [`CompilerBackend`]; the

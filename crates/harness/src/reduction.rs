@@ -128,7 +128,10 @@ fn observe_oracle(finding: &Finding, p: &Program, fuel: u64, oracle: Oracle<'_>)
     let cc = Compiler::new(finding.compiler, finding.opt);
     let wrong_code_fuel = (finding.kind == FindingKind::WrongCode).then_some(fuel);
     match oracle {
-        Oracle::Direct => Some(cc.observe(p, wrong_code_fuel)),
+        // Reduction probes arbitrary shrunken programs, not variants of
+        // one skeleton — there is nothing for the incremental cache to
+        // splice, so both in-process paths observe directly.
+        Oracle::Direct | Oracle::Incremental => Some(cc.observe(p, wrong_code_fuel)),
         Oracle::Backend(b) => b
             .observe_config(&spe_minic::print_program(p), cc, wrong_code_fuel)
             .ok(),

@@ -369,6 +369,38 @@ impl Expr {
             ExprKind::Member(e, _, _) => e.for_each_ident(f),
         }
     }
+
+    /// Mutable counterpart of [`Expr::for_each_ident`]: visits every
+    /// variable use site in evaluation order with mutable access, so a
+    /// caller can rewrite the spelled name in place (the splice seam of
+    /// the incremental oracle).
+    pub fn for_each_ident_mut<F: FnMut(&mut Ident)>(&mut self, f: &mut F) {
+        match &mut self.kind {
+            ExprKind::IntLit(_) | ExprKind::CharLit(_) | ExprKind::StrLit(_) => {}
+            ExprKind::Ident(id) => f(id),
+            ExprKind::Unary(_, e) | ExprKind::Post(_, e) | ExprKind::Cast(_, e) => {
+                e.for_each_ident_mut(f)
+            }
+            ExprKind::Binary(_, a, b)
+            | ExprKind::Assign(_, a, b)
+            | ExprKind::Index(a, b)
+            | ExprKind::Comma(a, b) => {
+                a.for_each_ident_mut(f);
+                b.for_each_ident_mut(f);
+            }
+            ExprKind::Ternary(c, t, e) => {
+                c.for_each_ident_mut(f);
+                t.for_each_ident_mut(f);
+                e.for_each_ident_mut(f);
+            }
+            ExprKind::Call(_, args) => {
+                for a in args {
+                    a.for_each_ident_mut(f);
+                }
+            }
+            ExprKind::Member(e, _, _) => e.for_each_ident_mut(f),
+        }
+    }
 }
 
 /// One declarator in a declaration: `int a = 1, *p;` has two.
@@ -421,6 +453,70 @@ pub enum Stmt {
     Label(String, Box<Stmt>),
     /// `;`
     Empty,
+}
+
+impl Stmt {
+    /// Visits every variable use site under this statement in source
+    /// order with mutable access (see [`Program::for_each_ident_mut`]).
+    pub fn for_each_ident_mut<F: FnMut(&mut Ident)>(&mut self, f: &mut F) {
+        match self {
+            Stmt::Expr(e) => e.for_each_ident_mut(f),
+            Stmt::Decl(decls) => {
+                for d in decls {
+                    if let Some(init) = &mut d.init {
+                        init.for_each_ident_mut(f);
+                    }
+                }
+            }
+            Stmt::Block(b) => {
+                for s in b {
+                    s.for_each_ident_mut(f);
+                }
+            }
+            Stmt::If(c, t, e) => {
+                c.for_each_ident_mut(f);
+                t.for_each_ident_mut(f);
+                if let Some(e) = e {
+                    e.for_each_ident_mut(f);
+                }
+            }
+            Stmt::While(c, b) => {
+                c.for_each_ident_mut(f);
+                b.for_each_ident_mut(f);
+            }
+            Stmt::DoWhile(b, c) => {
+                b.for_each_ident_mut(f);
+                c.for_each_ident_mut(f);
+            }
+            Stmt::For(init, cond, step, b) => {
+                match init {
+                    Some(ForInit::Decl(ds)) => {
+                        for d in ds {
+                            if let Some(i) = &mut d.init {
+                                i.for_each_ident_mut(f);
+                            }
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => e.for_each_ident_mut(f),
+                    None => {}
+                }
+                if let Some(c) = cond {
+                    c.for_each_ident_mut(f);
+                }
+                if let Some(st) = step {
+                    st.for_each_ident_mut(f);
+                }
+                b.for_each_ident_mut(f);
+            }
+            Stmt::Return(Some(e)) => e.for_each_ident_mut(f),
+            Stmt::Label(_, inner) => inner.for_each_ident_mut(f),
+            Stmt::Return(None)
+            | Stmt::Break
+            | Stmt::Continue
+            | Stmt::Goto(_)
+            | Stmt::Empty => {}
+        }
+    }
 }
 
 /// A function parameter.
@@ -498,5 +594,29 @@ impl Program {
             Item::Struct(s) if s.name == name => Some(s),
             _ => None,
         })
+    }
+
+    /// Visits every variable use site in the whole program — global
+    /// initializers then function bodies, in source order — with
+    /// mutable access. Declaration/parameter names are not use sites
+    /// and are not visited.
+    pub fn for_each_ident_mut<F: FnMut(&mut Ident)>(&mut self, f: &mut F) {
+        for item in &mut self.items {
+            match item {
+                Item::Global(decls) => {
+                    for d in decls {
+                        if let Some(init) = &mut d.init {
+                            init.for_each_ident_mut(f);
+                        }
+                    }
+                }
+                Item::Func(func) => {
+                    for s in &mut func.body {
+                        s.for_each_ident_mut(f);
+                    }
+                }
+                Item::Struct(_) => {}
+            }
+        }
     }
 }

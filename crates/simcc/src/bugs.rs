@@ -233,34 +233,58 @@ pub fn registry() -> Vec<BugSpec> {
 }
 
 /// Evaluates whether `trigger` matches the program.
+///
+/// Single-use convenience over [`scan_facts`]: walks the whole AST for
+/// one answer. Callers evaluating many triggers against the same
+/// program (the compiler does — one per live bug) should scan once and
+/// query the returned [`TriggerFacts`] instead.
 pub fn trigger_matches(trigger: Trigger, p: &Program) -> bool {
-    let mut m = Matcher::default();
+    scan_facts(p).matches(trigger)
+}
+
+/// Walks `p` once and collects every structural fact the [`Trigger`]
+/// vocabulary can ask about.
+///
+/// The facts borrow identifier names from the program, so the program
+/// must outlive them; scanning allocates only a few reusable scratch
+/// buffers regardless of program size.
+pub fn scan_facts(p: &Program) -> TriggerFacts<'_> {
+    let mut m = TriggerFacts::default();
     m.scan(p);
-    match trigger {
-        Trigger::TernaryIdenticalArms => m.ternary_identical,
-        Trigger::SelfAssignment => m.self_assignment,
-        Trigger::SubSelf => m.sub_self,
-        Trigger::SameVarTimes(n) => m.max_same_var >= n as usize,
-        Trigger::DistinctVars(n) => m.max_distinct_vars >= n as usize,
-        Trigger::BackwardGoto => m.backward_goto,
-        Trigger::GotoIntoBranch => m.goto_into_branch,
-        Trigger::AliasedPointerStores => m.aliased_pointer_stores,
-        Trigger::SelfIndexedArray => m.self_indexed_array,
-        Trigger::DeclAfterLabelWithBackGoto => m.decl_after_label_back_goto,
-        Trigger::DecrementingOuterLoop => m.decrementing_outer_loop,
-        Trigger::VariableShift => m.variable_shift,
-        Trigger::CommaInCall => m.comma_in_call,
-        Trigger::DeepExpression(n) => m.max_expr_depth >= n as usize,
-        Trigger::DivBySelf => m.div_by_self,
-        Trigger::UsesStruct => m.uses_struct,
-        Trigger::AddrOfGlobal => m.addr_of_global,
-        Trigger::CallInLoopCond => m.call_in_loop_cond,
+    m
+}
+
+impl<'p> TriggerFacts<'p> {
+    /// Whether `trigger` matches the scanned program.
+    pub fn matches(&self, trigger: Trigger) -> bool {
+        match trigger {
+            Trigger::TernaryIdenticalArms => self.ternary_identical,
+            Trigger::SelfAssignment => self.self_assignment,
+            Trigger::SubSelf => self.sub_self,
+            Trigger::SameVarTimes(n) => self.max_same_var >= n as usize,
+            Trigger::DistinctVars(n) => self.max_distinct_vars >= n as usize,
+            Trigger::BackwardGoto => self.backward_goto,
+            Trigger::GotoIntoBranch => self.goto_into_branch,
+            Trigger::AliasedPointerStores => self.aliased_pointer_stores,
+            Trigger::SelfIndexedArray => self.self_indexed_array,
+            Trigger::DeclAfterLabelWithBackGoto => self.decl_after_label_back_goto,
+            Trigger::DecrementingOuterLoop => self.decrementing_outer_loop,
+            Trigger::VariableShift => self.variable_shift,
+            Trigger::CommaInCall => self.comma_in_call,
+            Trigger::DeepExpression(n) => self.max_expr_depth >= n as usize,
+            Trigger::DivBySelf => self.div_by_self,
+            Trigger::UsesStruct => self.uses_struct,
+            Trigger::AddrOfGlobal => self.addr_of_global,
+            Trigger::CallInLoopCond => self.call_in_loop_cond,
+        }
     }
 }
 
-/// Structural facts collected in one AST walk.
+/// Structural facts collected in one AST walk, borrowing identifier
+/// names from the scanned program. Build with [`scan_facts`], query
+/// with [`TriggerFacts::matches`].
 #[derive(Debug, Default)]
-struct Matcher {
+pub struct TriggerFacts<'p> {
     ternary_identical: bool,
     self_assignment: bool,
     sub_self: bool,
@@ -279,8 +303,9 @@ struct Matcher {
     uses_struct: bool,
     addr_of_global: bool,
     call_in_loop_cond: bool,
-    globals: Vec<String>,
+    globals: Vec<&'p str>,
     next_branch: usize,
+    name_scratch: Vec<&'p str>,
 }
 
 /// Structural equality of expressions up to occurrence/node ids — the
@@ -319,21 +344,21 @@ pub fn exprs_equal(a: &Expr, b: &Expr) -> bool {
     }
 }
 
-impl Matcher {
-    fn scan(&mut self, p: &Program) {
+impl<'p> TriggerFacts<'p> {
+    fn scan(&mut self, p: &'p Program) {
         for item in &p.items {
             match item {
                 Item::Struct(_) => self.uses_struct = true,
                 Item::Global(decls) => {
                     for d in decls {
-                        self.globals.push(d.name.clone());
+                        self.globals.push(d.name.as_str());
                         if let Some(init) = &d.init {
                             self.expr(init, false);
                         }
                     }
                 }
                 Item::Func(f) => {
-                    let mut labels_seen: Vec<(String, usize)> = Vec::new();
+                    let mut labels_seen: Vec<(&str, usize)> = Vec::new();
                     let mut saw_back_goto = false;
                     self.stmts(&f.body, &mut labels_seen, &mut saw_back_goto, 0, 0);
                     // Second walk for decl-after-label with a backward
@@ -376,16 +401,16 @@ impl Matcher {
 
     fn stmts(
         &mut self,
-        stmts: &[Stmt],
-        labels: &mut Vec<(String, usize)>,
+        stmts: &'p [Stmt],
+        labels: &mut Vec<(&'p str, usize)>,
         saw_back_goto: &mut bool,
         in_branch: usize,
         loop_depth: usize,
     ) {
         // Track pointer initializations for the alias pattern, per
         // statement list.
-        let mut ptr_inits: Vec<(String, String)> = Vec::new(); // (ptr, target)
-        let mut stored_through: Vec<String> = Vec::new();
+        let mut ptr_inits: Vec<(&str, &str)> = Vec::new(); // (ptr, target)
+        let mut stored_through: Vec<&str> = Vec::new();
         for s in stmts {
             match s {
                 Stmt::Decl(decls) => {
@@ -394,7 +419,7 @@ impl Matcher {
                             if d.ty.pointers > 0 {
                                 if let ExprKind::Unary(UnaryOp::Addr, inner) = &init.kind {
                                     if let ExprKind::Ident(id) = &inner.kind {
-                                        ptr_inits.push((d.name.clone(), id.name.clone()));
+                                        ptr_inits.push((d.name.as_str(), id.name.as_str()));
                                     }
                                 }
                             }
@@ -407,14 +432,14 @@ impl Matcher {
                     if let ExprKind::Assign(_, lhs, _) = &e.kind {
                         if let ExprKind::Unary(UnaryOp::Deref, inner) = &lhs.kind {
                             if let ExprKind::Ident(id) = &inner.kind {
-                                stored_through.push(id.name.clone());
+                                stored_through.push(id.name.as_str());
                             }
                         }
                     }
                     self.expr(e, loop_depth > 0);
                 }
                 Stmt::Label(name, inner) => {
-                    labels.push((name.clone(), in_branch));
+                    labels.push((name.as_str(), in_branch));
                     // (branch id 0 = outside any conditional)
                     self.stmts(
                         std::slice::from_ref(inner),
@@ -425,7 +450,7 @@ impl Matcher {
                     );
                 }
                 Stmt::Goto(name) => {
-                    if let Some((_, label_branch)) = labels.iter().find(|(l, _)| l == name) {
+                    if let Some((_, label_branch)) = labels.iter().find(|(l, _)| *l == name.as_str()) {
                         self.backward_goto = true;
                         *saw_back_goto = true;
                         if *label_branch != 0 && *label_branch != in_branch {
@@ -546,39 +571,41 @@ impl Matcher {
         }
     }
 
-    fn expr_in_loop_cond(&mut self, e: &Expr) {
+    fn expr_in_loop_cond(&mut self, e: &'p Expr) {
         if contains_call(e) {
             self.call_in_loop_cond = true;
         }
         self.expr(e, true);
     }
 
-    fn expr(&mut self, e: &Expr, _in_loop: bool) {
-        // Per-expression variable statistics.
-        let mut names: Vec<String> = Vec::new();
-        e.for_each_ident(&mut |id| names.push(id.name.clone()));
-        let mut sorted = names.clone();
-        sorted.sort();
+    fn expr(&mut self, e: &'p Expr, _in_loop: bool) {
+        // Per-expression variable statistics, via a reused scratch
+        // buffer of borrowed names (this is the compile hot path).
+        let mut sorted = std::mem::take(&mut self.name_scratch);
+        sorted.clear();
+        e.for_each_ident(&mut |id| sorted.push(id.name.as_str()));
+        sorted.sort_unstable();
         let mut max_same = 0;
         let mut run = 0;
         let mut prev: Option<&str> = None;
-        for n in &sorted {
-            if prev == Some(n.as_str()) {
+        for &n in &sorted {
+            if prev == Some(n) {
                 run += 1;
             } else {
                 run = 1;
-                prev = Some(n.as_str());
+                prev = Some(n);
             }
             max_same = max_same.max(run);
         }
         self.max_same_var = self.max_same_var.max(max_same);
         sorted.dedup();
         self.max_distinct_vars = self.max_distinct_vars.max(sorted.len());
+        self.name_scratch = sorted;
         self.max_expr_depth = self.max_expr_depth.max(expr_depth(e));
         self.expr_patterns(e);
     }
 
-    fn expr_patterns(&mut self, e: &Expr) {
+    fn expr_patterns(&mut self, e: &'p Expr) {
         match &e.kind {
             ExprKind::Ternary(_, t, els) if exprs_equal(t, els) => {
                 self.ternary_identical = true;
@@ -601,7 +628,7 @@ impl Matcher {
             }
             ExprKind::Unary(UnaryOp::Addr, inner) => {
                 if let ExprKind::Ident(id) = &inner.kind {
-                    if self.globals.contains(&id.name) {
+                    if self.globals.contains(&id.name.as_str()) {
                         self.addr_of_global = true;
                     }
                 }
@@ -613,15 +640,17 @@ impl Matcher {
                     }
                 }
             }
-            ExprKind::Index(_, idx) => {
-                let mut names = Vec::new();
-                idx.for_each_ident(&mut |id| names.push(id.name.clone()));
-                names.sort();
+            ExprKind::Index(_, idx) if !self.self_indexed_array => {
+                let mut names = std::mem::take(&mut self.name_scratch);
+                names.clear();
+                idx.for_each_ident(&mut |id| names.push(id.name.as_str()));
+                names.sort_unstable();
                 for w in names.windows(2) {
                     if w[0] == w[1] {
                         self.self_indexed_array = true;
                     }
                 }
+                self.name_scratch = names;
             }
             _ => {}
         }

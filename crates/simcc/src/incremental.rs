@@ -1,0 +1,627 @@
+//! The incremental oracle: splice-don't-reparse compilation.
+//!
+//! Consecutive SPE variants of one skeleton differ by a single odometer
+//! digit — one hole bound to a different (already-declared) variable.
+//! The round-trip oracle nevertheless pays print → lex → parse for every
+//! variant, then rediscovers the program's structural facts once per
+//! compiler configuration. This module caches the parsed AST once per
+//! skeleton and *splices* each variant's name bindings directly into it,
+//! the way `RenderTemplate` splices strings into a compiled template:
+//!
+//! * [`CachedOracle`] holds one parsed program plus a direct mutable
+//!   handle to every hole's identifier. Observing a variant rewrites
+//!   only the changed bindings (`O(changed)`, typically one string) and
+//!   re-derives observations with **one** structural-fact scan shared
+//!   across the whole compiler matrix — the round-trip path scans once
+//!   per live bug per compiler.
+//! * Pass-pipeline results (optimize + lower) are memoized *within* a
+//!   variant across configurations that share an optimization level and
+//!   triggered wrong-code set: `passes::optimize` reads nothing else
+//!   from the configuration, so gcc-sim `-O0` and clang-sim `-O0`
+//!   usually collapse to one pipeline execution, and so do their
+//!   differential VM runs.
+//!
+//! # Why splicing is identity-preserving
+//!
+//! `spe_minic::parse` performs no name resolution (sema is the separate
+//! `analyze` pass, used only during skeleton extraction), so parse
+//! *structure* depends only on token kinds and punctuation — never on
+//! how an identifier is spelled. Two renders of the same skeleton
+//! differ only in identifier tokens at hole slots, and the parser
+//! assigns `OccId`/`ExprId` in source order, which those substitutions
+//! cannot change. Hence `parse(render(variant))` equals the cached
+//! `parse(render(first_variant))` with the hole identifiers rewritten —
+//! exactly what [`CachedOracle::observe_variant`] computes. The
+//! `tests/oracle_identity.rs` suite pins this end to end: campaign
+//! reports through this path are byte-identical to the round-trip
+//! oracle at every worker count, including kill/resume cycles.
+//!
+//! # Contract in compile-only mode
+//!
+//! With `check_wrong_code == false` the campaign harness only consumes
+//! an observation's `ice` and `slow_compile` fields, so the oracle runs
+//! the optimize + lower pipeline *lazily* — only when a performance
+//! defect fired and lowerability decides whether it is reportable. For
+//! variants with no triggered performance bug the returned observation
+//! leaves `unsupported` and `miscompiled_by` at their defaults even
+//! when a full [`Compiler::observe`] would set them; every field the
+//! harness reads in that mode is exact. With `check_wrong_code == true`
+//! observations are field-for-field equal to [`Compiler::observe`].
+
+use crate::bugs::{self, BugKind, BugSpec};
+use crate::coverage::Coverage;
+use crate::{
+    divergence_from_image, interp, passes, reference_limits, vm, Compiler, Divergence, Ice,
+    Observation,
+};
+use spe_minic::ast::{OccId, Program};
+
+/// Cumulative cache-effectiveness counters of one [`CachedOracle`],
+/// readable at any time via [`CachedOracle::stats`]. The campaign
+/// harness turns per-variant deltas of these into the
+/// `oracle_cache.*` telemetry counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Variants spliced through the delta path (only changed holes
+    /// rewritten).
+    pub splice_delta: u64,
+    /// Variants that paid a full resplice of every hole: the first
+    /// variant after construction or [`CachedOracle::reconfigure`],
+    /// callers not supplying a delta, and post-panic self-heals.
+    pub splice_full: u64,
+    /// Pass-pipeline (optimize + lower) results served from the
+    /// within-variant memo.
+    pub pipeline_memo_hits: u64,
+    /// Pass-pipeline executions that actually ran.
+    pub pipeline_memo_misses: u64,
+}
+
+/// A parsed program with a raw mutable handle to each hole's
+/// identifier, so a variant's bindings splice in without reprinting or
+/// reparsing anything.
+///
+/// Safety argument for the `*mut String` slots: each points at the
+/// `Ident::name` of one hole, collected from a single mutable walk at
+/// construction. Those `String` objects live inside heap allocations
+/// owned by the program's `Vec`/`Box` nodes, so moving the
+/// `SplicedAst` (or the `Program` struct inside it) never moves them;
+/// they stay valid because the AST is never structurally mutated after
+/// construction — the only writes ever performed are through the slots
+/// themselves, behind `&mut self`, which cannot overlap the shared
+/// `&Program` reads ([`SplicedAst::program`]) the oracle performs
+/// between splices.
+struct SplicedAst {
+    program: Program,
+    /// Hole-indexed pointers to each hole's `Ident::name`.
+    slots: Vec<*mut String>,
+}
+
+impl SplicedAst {
+    /// Builds the spliceable AST; `hole_occs[h]` is the use-site
+    /// occurrence filled by names`[h]`. Returns `None` when some hole
+    /// occurrence has no identifier in the program (a caller bug — the
+    /// oracle then falls back to round-trip processing).
+    fn new(program: Program, hole_occs: &[OccId]) -> Option<SplicedAst> {
+        let mut this = SplicedAst {
+            program,
+            slots: vec![std::ptr::null_mut(); hole_occs.len()],
+        };
+        let mut occ_to_hole = vec![usize::MAX; this.program.max_occ as usize];
+        for (h, occ) in hole_occs.iter().enumerate() {
+            *occ_to_hole.get_mut(occ.0 as usize)? = h;
+        }
+        let slots = &mut this.slots;
+        this.program.for_each_ident_mut(&mut |id| {
+            if let Some(&h) = occ_to_hole.get(id.occ.0 as usize) {
+                if h != usize::MAX {
+                    slots[h] = &mut id.name as *mut String;
+                }
+            }
+        });
+        if this.slots.iter().any(|p| p.is_null()) {
+            return None;
+        }
+        Some(this)
+    }
+
+    /// The current program (the last spliced variant).
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Rebinds hole `hole` to `name`.
+    fn set(&mut self, hole: usize, name: &str) {
+        let slot = self.slots[hole];
+        // SAFETY: see the struct-level argument; `&mut self` guarantees
+        // no `&Program` reference is live across this write.
+        unsafe {
+            let s = &mut *slot;
+            if s.as_str() != name {
+                s.clear();
+                s.push_str(name);
+            }
+        }
+    }
+}
+
+/// Per-variant memo key: optimization level plus the ordered set of
+/// triggered wrong-code defects — the only inputs `passes::optimize`
+/// reads from a configuration.
+type PipeKey = (u8, Vec<&'static str>);
+
+/// Memoized outcome of one optimize + lower pipeline execution.
+struct PipeEntry {
+    /// `None` when lowering rejected the optimized program
+    /// (`CompileError::Unsupported`).
+    image: Option<vm::Image>,
+    miscompiled_by: Vec<&'static str>,
+    /// Differential verdict against this variant's reference execution,
+    /// filled on first use (`None` = not yet computed).
+    divergence: Option<Option<Divergence>>,
+}
+
+/// One compiler configuration with its live-bug set resolved once.
+struct CompilerSlot {
+    compiler: Compiler,
+    live: Vec<BugSpec>,
+}
+
+/// The incremental oracle for one skeleton: a cached AST spliced per
+/// variant plus within-variant pipeline memoization across the
+/// compiler matrix.
+///
+/// Intended lifecycle (what the campaign harness does): build one per
+/// (file, shard) job from the job's first rendered variant, feed every
+/// subsequent variant through [`CachedOracle::observe_variant`] with
+/// the hole delta, and drop it at the job boundary — so work stealing,
+/// checkpoint/resume and panic quarantine see exactly the state they
+/// would under the round-trip oracle.
+///
+/// The oracle is panic-self-healing: if a previous
+/// [`CachedOracle::observe_variant`] unwound mid-splice (leaving some
+/// holes rebound and others not), the next call detects it and
+/// resplices every hole from scratch, ignoring the caller's delta.
+pub struct CachedOracle {
+    ast: SplicedAst,
+    compilers: Vec<CompilerSlot>,
+    check_wrong_code: bool,
+    fuel: u64,
+    /// Reused observation buffer, one entry per configuration.
+    obs: Vec<Observation>,
+    /// Reused per-variant pipeline memo.
+    pipeline: Vec<(PipeKey, PipeEntry)>,
+    /// Write-only coverage scratch for the passes (observations do not
+    /// carry coverage).
+    coverage: Coverage,
+    /// True while an `observe_variant` call is running; still true on
+    /// entry means the previous call panicked partway.
+    in_flight: bool,
+    stats: CacheStats,
+}
+
+impl CachedOracle {
+    /// Builds an incremental oracle over `program` (the parse of a
+    /// skeleton's rendered variant) whose hole `h` is the identifier at
+    /// occurrence `hole_occs[h]`.
+    ///
+    /// Returns `None` if some hole occurrence is not an identifier use
+    /// site of `program` — callers should fall back to the round-trip
+    /// path (with sources rendered by `spe-skeleton` templates this
+    /// cannot happen).
+    pub fn new(
+        program: Program,
+        hole_occs: &[OccId],
+        compilers: &[Compiler],
+        check_wrong_code: bool,
+        fuel: u64,
+    ) -> Option<CachedOracle> {
+        let mut this = CachedOracle {
+            ast: SplicedAst::new(program, hole_occs)?,
+            compilers: Vec::new(),
+            check_wrong_code: false,
+            fuel: 0,
+            obs: Vec::new(),
+            pipeline: Vec::new(),
+            coverage: Coverage::new(),
+            in_flight: false,
+            stats: CacheStats::default(),
+        };
+        this.reconfigure(compilers, check_wrong_code, fuel);
+        Some(this)
+    }
+
+    /// Number of holes the cached AST was built with; every
+    /// [`CachedOracle::observe_variant`] call must supply exactly this
+    /// many names.
+    pub fn num_holes(&self) -> usize {
+        self.ast.slots.len()
+    }
+
+    /// Cumulative cache-effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Re-points the oracle at a different campaign configuration
+    /// (compiler matrix, wrong-code mode, fuel), evicting every
+    /// memoized result: pipeline keys do not encode fuel or compiler
+    /// versions, so results memoized under the old configuration must
+    /// never serve the new one. The next variant pays a full resplice.
+    pub fn reconfigure(&mut self, compilers: &[Compiler], check_wrong_code: bool, fuel: u64) {
+        self.compilers = compilers
+            .iter()
+            .map(|&compiler| CompilerSlot {
+                live: compiler.live_bugs(),
+                compiler,
+            })
+            .collect();
+        self.check_wrong_code = check_wrong_code;
+        self.fuel = fuel;
+        self.pipeline.clear();
+        self.obs.clear();
+        // Force the next splice to rewrite every hole: memoized results
+        // are gone and the caller's delta baseline no longer applies.
+        self.in_flight = true;
+    }
+
+    /// Observes one variant — `names[h]` is the spelling bound to hole
+    /// `h` — and returns one [`Observation`] per configured compiler,
+    /// in configuration order (the same shape
+    /// `backend::CompilerBackend::observe_variant` returns).
+    ///
+    /// With `changed: Some(delta)` only the listed holes are respliced;
+    /// the caller guarantees every other hole's binding is unchanged
+    /// since the previous call (`spe_core::Variant::changed_holes_into`
+    /// computes exactly this delta). `None` resplices every hole.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is shorter than [`CachedOracle::num_holes`] or
+    /// a delta index is out of range; the oracle self-heals on the next
+    /// call.
+    pub fn observe_variant(&mut self, names: &[&str], changed: Option<&[usize]>) -> &[Observation] {
+        let must_full = self.in_flight;
+        self.in_flight = true;
+        match changed {
+            Some(delta) if !must_full => {
+                for &h in delta {
+                    self.ast.set(h, names[h]);
+                }
+                self.stats.splice_delta += 1;
+            }
+            _ => {
+                let holes = self.ast.slots.len();
+                for (h, name) in names.iter().enumerate().take(holes) {
+                    self.ast.set(h, name);
+                }
+                self.stats.splice_full += 1;
+            }
+        }
+
+        self.obs.clear();
+        self.pipeline.clear();
+        let prog = self.ast.program();
+        // One structural scan serves every trigger of every compiler.
+        let facts = bugs::scan_facts(prog);
+        let check_wrong_code = self.check_wrong_code;
+        let fuel = self.fuel;
+        // The reference executes lazily, at most once per variant — the
+        // same schedule as the harness's round-trip path.
+        let mut reference: Option<Result<interp::Execution, interp::Ub>> = None;
+        for slot in &self.compilers {
+            let opt = slot.compiler.opt();
+            let mut crash: Option<Ice> = None;
+            let mut slow: Vec<&'static str> = Vec::new();
+            let mut wc_ids: Vec<&'static str> = Vec::new();
+            let mut wc_specs: Vec<&BugSpec> = Vec::new();
+            for b in &slot.live {
+                if !facts.matches(b.trigger) {
+                    continue;
+                }
+                match b.kind {
+                    BugKind::Crash(signature) => {
+                        crash = Some(Ice {
+                            bug_id: b.id,
+                            signature,
+                            pass: b.pass,
+                        });
+                        // First triggered crash wins, exactly like
+                        // `Compiler::compile`; later performance /
+                        // wrong-code matches are unobservable.
+                        break;
+                    }
+                    BugKind::Performance => slow.push(b.id),
+                    BugKind::WrongCode => {
+                        wc_ids.push(b.id);
+                        wc_specs.push(b);
+                    }
+                }
+            }
+            if let Some(ice) = crash {
+                self.obs.push(Observation {
+                    ice: Some(ice),
+                    ..Observation::default()
+                });
+                continue;
+            }
+            if !check_wrong_code && slow.is_empty() {
+                // Nothing the compile-only harness reads can differ
+                // from default — skip the pipeline entirely (the
+                // crash-only fast path that buys the 10×).
+                self.obs.push(Observation::default());
+                continue;
+            }
+            let idx = match self
+                .pipeline
+                .iter()
+                .position(|(k, _)| k.0 == opt && k.1 == wc_ids)
+            {
+                Some(i) => {
+                    self.stats.pipeline_memo_hits += 1;
+                    i
+                }
+                None => {
+                    self.stats.pipeline_memo_misses += 1;
+                    let mut ctx = passes::PassCtx {
+                        opt,
+                        wrong_code: wc_specs,
+                        coverage: &mut self.coverage,
+                        miscompiled_by: Vec::new(),
+                    };
+                    let optimized = passes::optimize(prog, &mut ctx);
+                    let entry = PipeEntry {
+                        image: vm::lower(&optimized).ok(),
+                        miscompiled_by: ctx.miscompiled_by,
+                        divergence: None,
+                    };
+                    self.pipeline.push(((opt, wc_ids), entry));
+                    self.pipeline.len() - 1
+                }
+            };
+            let entry = &mut self.pipeline[idx].1;
+            let Some(image) = &entry.image else {
+                self.obs.push(Observation {
+                    unsupported: true,
+                    ..Observation::default()
+                });
+                continue;
+            };
+            let mut obs = Observation {
+                miscompiled_by: entry.miscompiled_by.clone(),
+                slow_compile: slow,
+                ..Observation::default()
+            };
+            if check_wrong_code {
+                if reference.is_none() {
+                    reference = Some(interp::run(prog, reference_limits(fuel)));
+                }
+                match reference.as_ref().expect("just set") {
+                    Err(_) => obs.reference_ub = true,
+                    Ok(expected) => {
+                        let divergence = match entry.divergence {
+                            Some(d) => d,
+                            None => {
+                                let d = divergence_from_image(image, expected, fuel);
+                                entry.divergence = Some(d);
+                                d
+                            }
+                        };
+                        obs.divergence = divergence;
+                        obs.wrong_code = divergence.is_some();
+                    }
+                }
+            }
+            self.obs.push(obs);
+        }
+        self.in_flight = false;
+        &self.obs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompilerId;
+    use spe_minic::parse;
+
+    /// All identifier use-site occurrences of `p`, in walk order — the
+    /// hole set a skeleton would extract when every use site is a hole.
+    fn all_occs(p: &Program) -> Vec<OccId> {
+        let mut occs = Vec::new();
+        let mut q = p.clone();
+        q.for_each_ident_mut(&mut |id| occs.push(id.occ));
+        occs
+    }
+
+    /// Current hole spellings of `p`, in the same walk order.
+    fn spellings(p: &Program) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut q = p.clone();
+        q.for_each_ident_mut(&mut |id| names.push(id.name.clone()));
+        names
+    }
+
+    fn wc_compilers() -> Vec<Compiler> {
+        vec![
+            Compiler::new(CompilerId::gcc(485), 0),
+            Compiler::new(CompilerId::gcc(485), 2),
+            Compiler::new(CompilerId::clang(360), 0),
+            Compiler::new(CompilerId::clang(360), 2),
+        ]
+    }
+
+    /// Exhaustive cross-check on a pointerful skeleton: every hole
+    /// respliced to every allowed name, one at a time and in pairs,
+    /// must observe exactly what a fresh parse of the equivalent
+    /// source observes (wrong-code mode — field-for-field equality).
+    #[test]
+    fn splice_matches_reparse_on_every_hole() {
+        let base = "int a = 0, b = 0; int main() { int *p = &a, *q = &a; *p = 1; *q = 2; return a; }";
+        let prog = parse(base).expect("parses");
+        let holes = all_occs(&prog);
+        let compilers = wc_compilers();
+        let mut cache =
+            CachedOracle::new(prog.clone(), &holes, &compilers, true, 50_000).expect("builds");
+        let base_names = spellings(&prog);
+        let pool = ["a", "b"];
+        let fresh = |names: &[String]| -> Vec<Observation> {
+            // Reference implementation: rewrite the AST by reparsing a
+            // manually substituted source. Substitution by hole index
+            // is exactly what the render template does.
+            let mut q = parse(base).expect("parses");
+            let mut i = 0;
+            q.for_each_ident_mut(&mut |id| {
+                id.name = names[i].clone();
+                i += 1;
+            });
+            let printed = spe_minic::print_program(&q);
+            let reparsed = parse(&printed).expect("reparses");
+            compilers
+                .iter()
+                .map(|cc| cc.observe(&reparsed, Some(50_000)))
+                .collect()
+        };
+        // One hole at a time, delta splice.
+        let mut prev = base_names.clone();
+        for h in 0..holes.len() {
+            for cand in pool {
+                let mut names = prev.clone();
+                names[h] = cand.to_string();
+                let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                let changed: Vec<usize> = (0..holes.len())
+                    .filter(|&i| names[i] != prev[i])
+                    .collect();
+                let got = cache.observe_variant(&refs, Some(&changed)).to_vec();
+                assert_eq!(got, fresh(&names), "hole {h} -> {cand}");
+                prev = names;
+            }
+        }
+        assert!(cache.stats().splice_delta > 0);
+        assert!(cache.stats().pipeline_memo_hits > 0, "O0 pair must collapse");
+    }
+
+    /// Replaying the same variant after unrelated observations yields
+    /// identical results to the first visit and to a fresh oracle: no
+    /// state leaks across `observe_variant` calls.
+    #[test]
+    fn observations_do_not_leak_across_variants() {
+        let src = "int x, y, z, w, v; int main() { v = x + y * z - w + v; return 0; }";
+        let prog = parse(src).expect("parses");
+        let holes = all_occs(&prog);
+        let compilers = wc_compilers();
+        let mut cache =
+            CachedOracle::new(prog.clone(), &holes, &compilers, true, 20_000).expect("builds");
+        let n = holes.len();
+        let v1: Vec<&str> = vec!["x"; n];
+        let v2: Vec<&str> = vec!["v"; n];
+        let first = cache.observe_variant(&v1, None).to_vec();
+        let _ = cache.observe_variant(&v2, None).to_vec();
+        let again = cache.observe_variant(&v1, None).to_vec();
+        assert_eq!(first, again, "revisited variant diverged");
+        let mut fresh =
+            CachedOracle::new(prog, &holes, &compilers, true, 20_000).expect("builds");
+        assert_eq!(fresh.observe_variant(&v1, None), &first[..]);
+    }
+
+    /// `reconfigure` must evict memoized pipeline/divergence results:
+    /// the memo key does not encode fuel or compiler versions, so a
+    /// stale entry would serve wrong verdicts under the new config.
+    #[test]
+    fn reconfigure_evicts_memoized_results() {
+        // A loop that terminates but needs real fuel: with a tiny fuel
+        // the reference hits the limit (UB-skip), flipping verdicts.
+        let src = "int g = 2; int main() { int s = 0; for (int i = 0; i < 40; i++) s += g; return s; }";
+        let prog = parse(src).expect("parses");
+        let holes = all_occs(&prog);
+        let compilers = wc_compilers();
+        let mut cache =
+            CachedOracle::new(prog.clone(), &holes, &compilers, true, 100_000).expect("builds");
+        let names = spellings(&prog);
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let generous = cache.observe_variant(&refs, None).to_vec();
+        assert!(generous.iter().all(|o| !o.reference_ub));
+
+        cache.reconfigure(&compilers, true, 10);
+        let starved = cache.observe_variant(&refs, None).to_vec();
+        let mut fresh = CachedOracle::new(prog, &holes, &compilers, true, 10).expect("builds");
+        assert_eq!(
+            starved,
+            fresh.observe_variant(&refs, None),
+            "post-reconfigure observations must match a fresh oracle"
+        );
+        assert_ne!(generous, starved, "fuel change must be observable");
+
+        // Narrowing the compiler matrix reshapes the observation vector.
+        cache.reconfigure(&compilers[..1], true, 100_000);
+        assert_eq!(cache.observe_variant(&refs, None).len(), 1);
+    }
+
+    /// A panicking splice (names slice shorter than the hole count)
+    /// must not leak a half-spliced AST into the next observation: the
+    /// oracle detects the unfinished call and resplices every hole.
+    #[test]
+    fn poisoned_splice_self_heals() {
+        let src = "int a, b, c; int main() { a = b + c; return a; }";
+        let prog = parse(src).expect("parses");
+        let holes = all_occs(&prog);
+        let compilers = wc_compilers();
+        let mut cache =
+            CachedOracle::new(prog.clone(), &holes, &compilers, true, 20_000).expect("builds");
+        let n = holes.len();
+        let good: Vec<&str> = vec!["b"; n];
+        let expected = cache.observe_variant(&good, None).to_vec();
+
+        // Poison: mutate some bindings, then panic mid-splice.
+        let all: Vec<usize> = (0..n).collect();
+        let short: Vec<&str> = vec!["c"; n - 1];
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.observe_variant(&short, Some(&all));
+        }));
+        assert!(poisoned.is_err(), "short names slice must panic");
+
+        // Self-heal: the caller's delta claims nothing changed since
+        // `good`, which is a lie after the partial splice — the oracle
+        // must ignore it and resplice everything.
+        let nothing_changed: Vec<usize> = Vec::new();
+        let healed = cache.observe_variant(&good, Some(&nothing_changed)).to_vec();
+        assert_eq!(healed, expected, "stale AST state leaked past a panic");
+        let mut fresh = CachedOracle::new(prog, &holes, &compilers, true, 20_000).expect("builds");
+        assert_eq!(fresh.observe_variant(&good, None), &expected[..]);
+    }
+
+    /// Compile-only mode: the fields the harness reads (`ice`,
+    /// `slow_compile`, and `unsupported` whenever a performance defect
+    /// fired) match `Compiler::observe` exactly.
+    #[test]
+    fn compile_only_mode_matches_observable_fields() {
+        let srcs = [
+            "int d, e, b, c; int main(void) { e ? (d==0 ? b : c) : (d==0 ? b : c); return 0; }",
+            "int a; int main() { a = ((((((((a + 1) + 2) + 3) + 4) + 5) + 6) + 7) + 8); return 0; }",
+            "int x, y; void f() { y = (x + 1) - (x + 1); }",
+        ];
+        let compilers = [
+            Compiler::new(CompilerId::gcc(700), 0),
+            Compiler::new(CompilerId::gcc(485), 1),
+            Compiler::new(CompilerId::gcc(485), 3),
+            Compiler::new(CompilerId::clang(390), 2),
+        ];
+        for src in srcs {
+            let prog = parse(src).expect("parses");
+            let holes = all_occs(&prog);
+            let mut cache =
+                CachedOracle::new(prog.clone(), &holes, &compilers, false, 10_000).expect("builds");
+            let names = spellings(&prog);
+            let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let got = cache.observe_variant(&refs, None).to_vec();
+            for (cc, obs) in compilers.iter().zip(&got) {
+                let full = cc.observe(&prog, None);
+                assert_eq!(obs.ice, full.ice, "{src}");
+                assert_eq!(obs.slow_compile, full.slow_compile, "{src}");
+                if !full.slow_compile.is_empty() {
+                    assert_eq!(obs.unsupported, full.unsupported, "{src}");
+                }
+                assert!(!obs.wrong_code && !obs.reference_ub);
+            }
+        }
+    }
+}

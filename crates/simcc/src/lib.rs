@@ -37,6 +37,7 @@
 pub mod backend;
 pub mod bugs;
 pub mod coverage;
+pub mod incremental;
 pub mod interp;
 pub mod passes;
 pub mod vm;
@@ -196,9 +197,12 @@ impl Compiler {
         structural_coverage(p, &mut coverage);
 
         let live = self.live_bugs();
+        // One structural scan answers every live trigger (previously
+        // each trigger re-walked the whole AST).
+        let facts = bugs::scan_facts(p);
         let triggered: Vec<&BugSpec> = live
             .iter()
-            .filter(|b| bugs::trigger_matches(b.trigger, p))
+            .filter(|b| facts.matches(b.trigger))
             .collect();
         if let Some(crash) = triggered.iter().find_map(|b| match b.kind {
             BugKind::Crash(sig) => Some(Ice {
@@ -330,7 +334,18 @@ pub fn divergence_from_reference(
     expected: &interp::Execution,
     fuel: u64,
 ) -> Option<Divergence> {
-    match compiled.execute(fuel * 4) {
+    divergence_from_image(&compiled.image, expected, fuel)
+}
+
+/// [`divergence_from_reference`] on a bare VM image — the form the
+/// incremental oracle memoizes (it caches images per pass-pipeline key
+/// rather than whole [`Compiled`] values).
+pub fn divergence_from_image(
+    image: &vm::Image,
+    expected: &interp::Execution,
+    fuel: u64,
+) -> Option<Divergence> {
+    match vm::execute(image, fuel * 4) {
         Ok(run) if run.exit_code != expected.exit_code => Some(Divergence::ExitCode),
         Ok(run) if run.output != expected.output => Some(Divergence::Output),
         Ok(_) => None,

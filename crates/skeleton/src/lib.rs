@@ -278,6 +278,14 @@ impl Skeleton {
         self.holes.len()
     }
 
+    /// The occurrence id of every hole, in hole order: `out[h]` is the
+    /// use site filled by `names[h]` in a variant. This is the binding
+    /// contract an incremental oracle needs to splice a variant's names
+    /// into a cached AST instead of reparsing the rendered source.
+    pub fn hole_occs(&self) -> impl Iterator<Item = OccId> + '_ {
+        self.holes.iter().map(|h| h.occ)
+    }
+
     /// Statistics for the paper's Table 2.
     pub fn stats(&self) -> SkeletonStats {
         let mut types: Vec<String> = self.table.vars().iter().map(|v| v.ty.to_string()).collect();

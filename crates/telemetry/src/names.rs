@@ -107,6 +107,21 @@ pub const SUBPROC_QUARANTINES: &str = "subproc.quarantines";
 /// spawn, drain, and reap.
 pub const SUBPROC_RUN_NS: &str = "subproc.run_ns";
 
+/// Counter: variants whose name bindings were delta-spliced into the
+/// incremental oracle's cached AST (one odometer digit changed — the
+/// fast path that skips print/lex/parse/sema entirely).
+pub const ORACLE_SPLICE_HITS: &str = "oracle_cache.splice_hits";
+/// Counter: variants that paid a full cache build or full resplice —
+/// the first variant of each (file, shard) job, skeleton boundaries,
+/// and post-panic self-heals.
+pub const ORACLE_SPLICE_MISSES: &str = "oracle_cache.splice_misses";
+/// Counter: per-configuration pass-pipeline results served from the
+/// incremental oracle's within-variant memo (configurations sharing an
+/// optimization level and triggered-rewrite set).
+pub const ORACLE_PIPELINE_MEMO_HITS: &str = "oracle_cache.pipeline_memo_hits";
+/// Counter: pass-pipeline executions the memo could not serve.
+pub const ORACLE_PIPELINE_MEMO_MISSES: &str = "oracle_cache.pipeline_memo_misses";
+
 /// Counter: per-configuration observations by the in-process backend.
 pub const SIMCC_OBSERVATIONS: &str = "simcc.observations";
 /// Counter: variants rejected by the in-process backend's parser.

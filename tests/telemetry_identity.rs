@@ -128,6 +128,58 @@ fn instrumented_kill_resume_cycle_is_byte_identical() {
     }
 }
 
+/// Per-verdict attribution survives the incremental (batched) oracle
+/// path: the default campaign entry points run on the splice cache, yet
+/// every variant must still land exactly one sample in its verdict's
+/// `oracle_ns.*` histogram. The workload is sized so each verdict class
+/// actually occurs, pinning the classification (not just the totals),
+/// and the sample/counter arithmetic proves one-sample-per-variant:
+/// every sample except `unsupported` tested all configurations.
+#[test]
+fn incremental_oracle_attribution_is_per_variant() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap();
+    let files = workload(7);
+    let config = CampaignConfig {
+        compilers: vec![
+            Compiler::new(CompilerId::gcc(700), 0),
+            Compiler::new(CompilerId::gcc(700), 3),
+            Compiler::new(CompilerId::clang(390), 3),
+        ],
+        budget: 200,
+        algorithm: spe::core::Algorithm::Paper,
+        check_wrong_code: true,
+        fuel: 10_000,
+    };
+    let (_report, recorder) = with_recorder(|| run_campaign_parallel(&files, &config, 4));
+    let snap = recorder.snapshot();
+    let count = |verdict: &str| {
+        snap.histograms
+            .get(&format!("{}{verdict}", names::ORACLE_NS_PREFIX))
+            .map_or(0, |h| h.count)
+    };
+    for verdict in ["clean", "crash", "wrong_code", "ub_skip"] {
+        assert!(count(verdict) > 0, "verdict {verdict} never observed");
+    }
+    let samples: u64 = names::ORACLE_VERDICTS.iter().map(|v| count(v)).sum();
+    let untested = count("unsupported");
+    assert_eq!(
+        recorder.counter_value(names::VARIANTS),
+        (samples - untested) * config.compilers.len() as u64,
+        "histogram samples must account for every variant exactly once"
+    );
+    // The default path is incremental: delta splices must dominate, with
+    // one full (re)splice per (file, shard) job, and every spliced
+    // variant is one verdict sample (no fallback on this corpus).
+    let hits = recorder.counter_value(names::ORACLE_SPLICE_HITS);
+    let misses = recorder.counter_value(names::ORACLE_SPLICE_MISSES);
+    assert!(hits > misses, "delta splices must dominate: {hits} vs {misses}");
+    assert_eq!(hits + misses, samples, "every sample came off the splice cache");
+    assert!(
+        recorder.counter_value(names::ORACLE_PIPELINE_MEMO_HITS) > 0,
+        "same-opt configurations never shared a pipeline run"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
