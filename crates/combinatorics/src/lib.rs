@@ -66,7 +66,7 @@ pub use instance::{FlatInstance, FlatScope, GeneralInstance, HoleId, PoolRef, Sc
 pub use orbit::{enumerate_orbits, orbit_count, orbit_solutions};
 pub use paper::{enumerate_paper, paper_count, paper_solutions};
 pub use rgs::{labels_to_rgs, rgs_block_count, rgs_to_blocks, ExactRgs, Rgs};
-pub use shard::{rgs_completions, rgs_unrank, shards, RgsShard, RgsShardIter};
+pub use shard::{even_ranges, rgs_completions, rgs_unrank, shards, RgsShard, RgsShardIter};
 pub use stirling::{
     bell, partitions_at_most, partitions_at_most_estimate, stirling2, stirling2_clamped,
 };

@@ -329,6 +329,37 @@ pub fn shards(n: usize, k: usize, want: usize) -> Vec<RgsShard> {
     out
 }
 
+/// Deals `0..total` into exactly `parts.max(1)` contiguous, in-order,
+/// near-even ranges (lengths differ by at most one) that cover the space
+/// exactly. Range `i` is `[⌊i·total/parts⌋, ⌊(i+1)·total/parts⌋)`, so
+/// the owner of any index — and the full slice of any part — is O(1)
+/// arithmetic with nothing materialized.
+///
+/// This is the pure index-space half of multi-host campaign
+/// partitioning (`spe_harness::fleet`): the (file × shard) job space is
+/// flattened file-major into `0..total` and each host owns one range;
+/// within a job, [`shards`]' exact prefix-weight boundaries and the
+/// `skip_to` unranking already make any emission-index sub-range
+/// independently enumerable, so no host touches work outside its slice.
+///
+/// # Examples
+///
+/// ```
+/// use spe_combinatorics::even_ranges;
+///
+/// let ranges = even_ranges(10, 3);
+/// assert_eq!(ranges, vec![0..3, 3..6, 6..10]);
+/// // Exact cover: every index in exactly one range.
+/// assert!(ranges.windows(2).all(|w| w[0].end == w[1].start));
+/// ```
+pub fn even_ranges(total: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1);
+    // u128 intermediates: `i * total` may overflow usize on 32-bit
+    // targets (and pathological inputs on 64-bit).
+    let cut = |i: usize| ((i as u128 * total as u128) / parts as u128) as usize;
+    (0..parts).map(|i| cut(i)..cut(i + 1)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -198,6 +198,39 @@ proptest! {
     }
 
     #[test]
+    fn even_ranges_partition_the_index_space_exactly(total in 0usize..400, parts in 1usize..12) {
+        // Brute-force coverage: every index of 0..total is owned by
+        // exactly one range; ranges are in order, contiguous, and
+        // near-even (lengths differ by at most one).
+        use spe_combinatorics::even_ranges;
+        let ranges = even_ranges(total, parts);
+        prop_assert_eq!(ranges.len(), parts);
+        let mut owners = vec![0usize; total];
+        for r in &ranges {
+            for i in r.clone() {
+                owners[i] += 1;
+            }
+        }
+        prop_assert!(owners.iter().all(|&c| c == 1), "each index owned exactly once");
+        prop_assert_eq!(ranges.first().map(|r| r.start), Some(0));
+        prop_assert_eq!(ranges.last().map(|r| r.end), Some(total));
+        for w in ranges.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "contiguous, in order");
+        }
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "near-even: {lens:?}");
+    }
+
+    #[test]
+    fn even_ranges_owner_is_stable_under_part_count_one(total in 0usize..64) {
+        use spe_combinatorics::even_ranges;
+        prop_assert_eq!(even_ranges(total, 1), vec![0..total]);
+        // parts = 0 is clamped to one covering range, never a panic.
+        prop_assert_eq!(even_ranges(total, 0), vec![0..total]);
+    }
+
+    #[test]
     fn canonical_shard_union_matches_serial(inst in small_instance(), want in 1usize..6) {
         // Shard-bounded canonical enumeration covers the serial sequence
         // exactly, for arbitrary scoped instances and shard counts.

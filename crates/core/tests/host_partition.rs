@@ -1,0 +1,129 @@
+//! Partition-coverage property for multi-host fleet campaigns
+//! (`DESIGN.md` §14): dealing a skeleton's shard space across hosts by
+//! `even_ranges` must hand **every emission index to exactly one
+//! (host, shard) slice**, and replaying the slices in (host, shard)
+//! order must reproduce the serial enumeration variant-for-variant —
+//! brute-force checked against an ownership table, so no index can be
+//! dropped or double-enumerated no matter where the host cuts land.
+
+use proptest::prelude::*;
+use spe_combinatorics::even_ranges;
+use spe_core::{
+    Algorithm, Enumerator, EnumeratorConfig, NameId, ShardedEnumerator, Skeleton, Variant,
+};
+use std::ops::ControlFlow;
+
+/// A small mini-C program whose skeleton's variant space grows with the
+/// number of variables and statements.
+fn program(vars: usize, stmts: usize) -> String {
+    let mut src = String::from("int main() {\n");
+    for v in 0..vars {
+        src.push_str(&format!("    int a{v} = {v};\n"));
+    }
+    for s in 0..stmts {
+        src.push_str(&format!(
+            "    a{} = a{} + a{};\n",
+            s % vars,
+            (s + 1) % vars,
+            (s + 2) % vars
+        ));
+    }
+    src.push_str("    return a0;\n}\n");
+    src
+}
+
+fn collect(outcomes: &mut Vec<(u64, Vec<NameId>)>) -> impl FnMut(&Variant) -> ControlFlow<()> + '_ {
+    |v| {
+        outcomes.push((v.index, v.names.clone()));
+        ControlFlow::Continue(())
+    }
+}
+
+/// Enumerates the full fleet — every shard of every host slice, in
+/// (host, shard) order — asserting along the way that each emission
+/// index is produced by exactly the (host, shard) the partition
+/// arithmetic says owns it.
+fn fleet_enumeration(
+    sk: &Skeleton,
+    config: &EnumeratorConfig,
+    shards: usize,
+    n_hosts: usize,
+) -> Vec<(u64, Vec<NameId>)> {
+    let sharded = ShardedEnumerator::new(*config, shards);
+    let space = sharded.prepare(sk);
+    let ranges = sharded.shard_ranges_prepared(&space);
+    let host_slices = even_ranges(shards, n_hosts);
+    let total = space.total(config.budget);
+    // owner[i] = Some((host, shard)) once slice (host, shard) emits i.
+    let mut owner: Vec<Option<(usize, usize)>> = vec![None; total as usize];
+    let mut merged = Vec::new();
+    for (host, slice) in host_slices.iter().enumerate() {
+        for shard in slice.clone() {
+            let mut emitted = Vec::new();
+            sharded.enumerate_shard_prepared(&space, shard, &mut collect(&mut emitted));
+            for (index, names) in emitted {
+                assert!(
+                    ranges[shard].contains(&index),
+                    "shard {shard} emitted index {index} outside its range {:?}",
+                    ranges[shard]
+                );
+                let prev = owner[index as usize].replace((host, shard));
+                assert_eq!(
+                    prev, None,
+                    "index {index} enumerated by both {prev:?} and ({host}, {shard})"
+                );
+                merged.push((index, names));
+            }
+        }
+    }
+    let orphans: Vec<usize> = owner
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.is_none().then_some(i))
+        .collect();
+    assert!(orphans.is_empty(), "indices owned by no slice: {orphans:?}");
+    merged
+}
+
+#[test]
+fn every_emission_index_is_owned_by_exactly_one_host_shard_slice() {
+    let sk = Skeleton::from_source(&program(4, 3)).expect("skeleton builds");
+    let config = EnumeratorConfig {
+        budget: 200,
+        ..EnumeratorConfig::default()
+    };
+    let mut serial = Vec::new();
+    Enumerator::new(config).enumerate(&sk, &mut collect(&mut serial));
+    assert!(serial.len() > 1, "the space must be non-trivial");
+    for (shards, n_hosts) in [(1, 1), (4, 2), (5, 3), (7, 8), (3, 5)] {
+        assert_eq!(
+            fleet_enumeration(&sk, &config, shards, n_hosts),
+            serial,
+            "{shards} shards over {n_hosts} hosts diverged from serial"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fleet_slices_reproduce_serial_enumeration_exactly(
+        vars in 2usize..5,
+        stmts in 1usize..4,
+        shards in 1usize..8,
+        n_hosts in 1usize..6,
+        budget in 4usize..120,
+        canonical in 0usize..2,
+    ) {
+        let sk = Skeleton::from_source(&program(vars, stmts)).expect("skeleton builds");
+        let config = EnumeratorConfig {
+            algorithm: if canonical == 1 { Algorithm::Canonical } else { Algorithm::Paper },
+            budget,
+            ..EnumeratorConfig::default()
+        };
+        let mut serial = Vec::new();
+        Enumerator::new(config).enumerate(&sk, &mut collect(&mut serial));
+        prop_assert_eq!(fleet_enumeration(&sk, &config, shards, n_hosts), serial);
+    }
+}

@@ -334,6 +334,22 @@ fn decode_witness(dec: &mut Decoder) -> Result<ReducedWitness, CheckpointError> 
     })
 }
 
+/// Fleet provenance pinned by a multi-host journal's manifest
+/// (`DESIGN.md` §14): which fleet campaign the journal belongs to, how
+/// many hosts the (file × shard) job space was dealt across, and which
+/// of those slices this journal's host owns. `None` on single-host
+/// journals; [`crate::fleet::merge_journals`] refuses to fold journals
+/// whose stamps disagree on anything but `host_id`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FleetStamp {
+    /// Caller-chosen campaign identity shared by every host journal.
+    pub(crate) fleet_id: u64,
+    /// Hosts the job space was dealt across (fixes every slice).
+    pub(crate) n_hosts: u32,
+    /// This journal's slice: `even_ranges(jobs, n_hosts)[host_id]`.
+    pub(crate) host_id: u32,
+}
+
 /// The journal header: everything needed to resume with **no inputs
 /// besides the journal path and the oracle backend** — the full corpus,
 /// the campaign configuration, the job decomposition, and the identity
@@ -342,18 +358,20 @@ fn decode_witness(dec: &mut Decoder) -> Result<ReducedWitness, CheckpointError> 
 /// is handed and **refuses a mismatch**: replayed frames mixed with a
 /// different oracle's recomputed suffix would match *no* uninterrupted
 /// run.
-struct Manifest {
-    config: CampaignConfig,
-    shards_per_file: usize,
-    files: Vec<TestFile>,
+pub(crate) struct Manifest {
+    pub(crate) config: CampaignConfig,
+    pub(crate) shards_per_file: usize,
+    pub(crate) files: Vec<TestFile>,
     /// [`spe_simcc::backend::CompilerBackend::id`] of the recording oracle.
-    backend_id: String,
+    pub(crate) backend_id: String,
     /// [`spe_simcc::backend::CompilerBackend::config_hash`] of the same.
-    backend_hash: u64,
+    pub(crate) backend_hash: u64,
+    /// Fleet provenance trailer; `None` on single-host journals.
+    pub(crate) fleet: Option<FleetStamp>,
 }
 
 impl Manifest {
-    fn encode(&self) -> Vec<u8> {
+    pub(crate) fn encode(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         enc.usize(self.config.compilers.len());
         for cc in &self.config.compilers {
@@ -370,10 +388,21 @@ impl Manifest {
         for f in &self.files {
             enc.str(&f.name).str(&f.source);
         }
+        // Fleet trailer, after every historical field: single-host
+        // journals written before the fleet layer decode unchanged
+        // (`decode` only reads the trailer when bytes remain).
+        match &self.fleet {
+            Some(s) => {
+                enc.bool(true).u64(s.fleet_id).u32(s.n_hosts).u32(s.host_id);
+            }
+            None => {
+                enc.bool(false);
+            }
+        }
         enc.finish()
     }
 
-    fn decode(bytes: &[u8]) -> Result<Manifest, CheckpointError> {
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Manifest, CheckpointError> {
         let mut dec = Decoder::new(bytes);
         let mut compilers = Vec::new();
         for _ in 0..dec.usize()? {
@@ -397,6 +426,26 @@ impl Manifest {
                 source: dec.str()?,
             });
         }
+        // Pre-fleet journals end here; the trailer is decoded only when
+        // bytes remain, so both generations replay under one schema.
+        let fleet = if dec.is_empty() {
+            None
+        } else if dec.bool()? {
+            let stamp = FleetStamp {
+                fleet_id: dec.u64()?,
+                n_hosts: dec.u32()?,
+                host_id: dec.u32()?,
+            };
+            if stamp.n_hosts == 0 || stamp.host_id >= stamp.n_hosts {
+                return Err(CheckpointError::Foreign(format!(
+                    "fleet stamp names host {} of {} hosts",
+                    stamp.host_id, stamp.n_hosts
+                )));
+            }
+            Some(stamp)
+        } else {
+            None
+        };
         dec.expect_empty()?;
         Ok(Manifest {
             config: CampaignConfig {
@@ -410,6 +459,7 @@ impl Manifest {
             files,
             backend_id,
             backend_hash,
+            fleet,
         })
     }
 
@@ -452,7 +502,7 @@ pub(crate) struct JobState {
 impl JobState {
     /// Whether this job carries no replayed state at all — nothing a
     /// compaction `Progress` frame would need to preserve.
-    fn is_empty(&self) -> bool {
+    pub(crate) fn is_empty(&self) -> bool {
         self.emitted == 0
             && !self.done
             && !self.partial.file_processed
@@ -467,10 +517,10 @@ impl JobState {
 /// are absorbed as they stream past, so replay memory is bounded by the
 /// per-job live state (high-water marks, partial outputs), never by the
 /// journal's frame count.
-struct Replay {
-    manifest: Manifest,
-    jobs: Vec<JobState>,
-    campaign_done: bool,
+pub(crate) struct Replay {
+    pub(crate) manifest: Manifest,
+    pub(crate) jobs: Vec<JobState>,
+    pub(crate) campaign_done: bool,
     /// Per-finding reduction results recorded so far, keyed by finding
     /// index and carrying the finding's signature (verified on replay so
     /// a witness can never attach to a different campaign's finding);
@@ -482,7 +532,7 @@ struct Replay {
 }
 
 impl Replay {
-    fn new(header: &[u8]) -> Result<Replay, CheckpointError> {
+    pub(crate) fn new(header: &[u8]) -> Result<Replay, CheckpointError> {
         let manifest = Manifest::decode(header)?;
         let job_count = manifest.files.len() * manifest.shards_per_file;
         Ok(Replay {
@@ -495,7 +545,7 @@ impl Replay {
     }
 
     /// Folds one record frame into the live state.
-    fn apply(&mut self, rec: &[u8]) -> Result<(), CheckpointError> {
+    pub(crate) fn apply(&mut self, rec: &[u8]) -> Result<(), CheckpointError> {
         let job_count = self.jobs.len();
         let mut dec = Decoder::new(rec);
         match dec.u8()? {
@@ -788,6 +838,7 @@ pub(crate) fn run_checkpointed_supervised(
         files: files.to_vec(),
         backend_id: oracle.backend_id(),
         backend_hash: oracle.config_hash(),
+        fleet: None,
     };
     let journal = Journal::create(path, &manifest.encode())?;
     let jobs = (0..files.len() * workers).map(|_| JobState::default()).collect();
@@ -830,10 +881,18 @@ pub(crate) fn resume_supervised(
     replay.manifest.check_backend(&oracle)?;
     let Replay {
         manifest,
-        jobs,
+        mut jobs,
         campaign_done,
         ..
     } = replay;
+    if let Some(stamp) = manifest.fleet {
+        // A host journal records frames only for its own slice; jobs
+        // outside it are re-marked done (empty partials) so the pool
+        // never deals them — the same pre-marking `fleet::run_host`
+        // applied on the first run. Replayed state on a foreign job
+        // means the journal and its stamp disagree: refuse it.
+        crate::fleet::mark_foreign_jobs_done(&mut jobs, stamp)?;
+    }
     if campaign_done {
         // Nothing to recompute: fold the recorded outputs directly.
         drop(iter);

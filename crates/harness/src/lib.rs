@@ -37,6 +37,7 @@ use std::ops::ControlFlow;
 
 pub mod checkpoint;
 pub mod coverage_run;
+pub mod fleet;
 pub mod mutation;
 pub mod orchestrate;
 pub mod reduction;
@@ -46,6 +47,10 @@ pub mod triage;
 pub use checkpoint::{
     resume_campaign, resume_campaign_with_path, run_campaign_checkpointed,
     run_campaign_checkpointed_with_path, CampaignStatus, CheckpointError, CheckpointOptions,
+};
+pub use fleet::{
+    merge_journals, merge_journals_detailed, resume_host, run_host, FleetError, FleetPlan,
+    HostSummary, MergedFleet,
 };
 pub use reduction::ReducedWitness;
 

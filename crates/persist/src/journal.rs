@@ -588,6 +588,11 @@ impl JournalIter {
         &self.header
     }
 
+    /// The path the iterator was opened on.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
     /// Byte length of the valid prefix scanned so far (final once the
     /// iterator is exhausted).
     pub fn valid_len(&self) -> u64 {
@@ -775,6 +780,122 @@ impl JournalReader {
             truncated_tail: iter.valid_len < iter.file_len,
             valid_len: iter.valid_len,
         })
+    }
+}
+
+/// Read-only streaming access to a set of sibling journals — typically
+/// the per-host journals of one distributed campaign, opened together
+/// so a merge can validate all headers before folding any records.
+///
+/// Journals are opened without the writer lock ([`JournalIter::open`])
+/// in caller order; every accessor is indexed by that order. Unlike a
+/// single-journal resume, which silently truncates a torn tail and
+/// recomputes the lost work, a cross-journal consumer usually must
+/// treat corruption as fatal — the sibling that could recompute the
+/// dropped frames is another host — so [`JournalSet::corruption`]
+/// attributes the first invalid frame to its journal index and the
+/// caller decides.
+///
+/// # Examples
+///
+/// ```
+/// use spe_persist::{Journal, JournalSet};
+///
+/// # let dir = std::env::temp_dir().join(format!("spe-persist-doc-set-{}", std::process::id()));
+/// # std::fs::create_dir_all(&dir)?;
+/// let paths: Vec<_> = (0..2).map(|h| dir.join(format!("host{h}.journal"))).collect();
+/// for (h, p) in paths.iter().enumerate() {
+///     let mut j = Journal::create(p, format!("host {h}").as_bytes())?;
+///     j.append(b"rec")?;
+/// }
+/// let mut set = JournalSet::open(&paths)?;
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.header(1), b"host 1");
+/// let records: Vec<Vec<u8>> = set.records(0).collect::<Result<_, _>>()?;
+/// assert_eq!(records, vec![b"rec".to_vec()]);
+/// assert!(set.corruption(0).is_none());
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct JournalSet {
+    journals: Vec<JournalIter>,
+}
+
+impl JournalSet {
+    /// Opens every path read-only and validates each file's magic and
+    /// header frame. All-or-nothing: the first failure aborts the open
+    /// (its [`JournalError`] names the offending path).
+    ///
+    /// # Errors
+    ///
+    /// As [`JournalIter::open`], for the first path that fails.
+    pub fn open<P: AsRef<Path>>(paths: &[P]) -> Result<JournalSet, JournalError> {
+        let journals = paths
+            .iter()
+            .map(JournalIter::open)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(JournalSet { journals })
+    }
+
+    /// Number of journals in the set.
+    pub fn len(&self) -> usize {
+        self.journals.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.journals.is_empty()
+    }
+
+    /// Header payload of journal `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn header(&self, index: usize) -> &[u8] {
+        self.journals[index].header()
+    }
+
+    /// Path journal `index` was opened on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn path(&self, index: usize) -> &Path {
+        self.journals[index].path()
+    }
+
+    /// The record stream of journal `index`, for draining with
+    /// `for rec in set.records(i)` (each item as [`JournalIter`]'s).
+    /// After exhaustion, check [`JournalSet::corruption`]`(index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn records(&mut self, index: usize) -> &mut JournalIter {
+        &mut self.journals[index]
+    }
+
+    /// Triage of journal `index`'s first invalid frame, if its stream
+    /// stopped on one — `None` while frames remain or when that journal
+    /// ended cleanly on a frame boundary (see [`JournalIter::corruption`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn corruption(&self, index: usize) -> Option<&TailCorruption> {
+        self.journals[index].corruption()
+    }
+
+    /// Whether journal `index` has bytes past its valid prefix
+    /// (meaningful once its stream is exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn truncated_tail(&self, index: usize) -> bool {
+        self.journals[index].truncated_tail()
     }
 }
 
@@ -1068,5 +1189,69 @@ mod tests {
         let c = JournalReader::read(&dst).unwrap();
         assert_eq!(c.header, b"new");
         assert_eq!(c.records, vec![b"new record".to_vec()]);
+    }
+
+    #[test]
+    fn journal_set_streams_headers_and_records_in_caller_order() {
+        let paths: Vec<PathBuf> = (0..3)
+            .map(|h| temp_path(&format!("set-order-{h}.journal")))
+            .collect();
+        for (h, p) in paths.iter().enumerate() {
+            let mut j = Journal::create(p, format!("host {h}").as_bytes()).unwrap();
+            for r in 0..=h {
+                j.append(format!("h{h} r{r}").as_bytes()).unwrap();
+            }
+        }
+        let mut set = JournalSet::open(&paths).unwrap();
+        assert_eq!(set.len(), 3);
+        assert!(!set.is_empty());
+        for (h, path) in paths.iter().enumerate() {
+            assert_eq!(set.header(h), format!("host {h}").as_bytes());
+            assert_eq!(set.path(h), path.as_path());
+            let records: Vec<Vec<u8>> = set.records(h).collect::<Result<_, _>>().unwrap();
+            assert_eq!(records.len(), h + 1);
+            assert_eq!(records[0], format!("h{h} r0").into_bytes());
+            assert!(set.corruption(h).is_none());
+            assert!(!set.truncated_tail(h));
+        }
+    }
+
+    #[test]
+    fn journal_set_attributes_corruption_to_the_offending_journal() {
+        let clean = temp_path("set-clean.journal");
+        let torn = temp_path("set-torn.journal");
+        for p in [&clean, &torn] {
+            let mut j = Journal::create(p, b"m").unwrap();
+            j.append(b"first").unwrap();
+            j.append(b"second").unwrap();
+        }
+        // Tear the second journal's last frame mid-payload.
+        let len = std::fs::metadata(&torn).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&torn).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let mut set = JournalSet::open(&[&clean, &torn]).unwrap();
+        for h in 0..2 {
+            for rec in set.records(h) {
+                rec.unwrap();
+            }
+        }
+        assert!(set.corruption(0).is_none(), "clean journal stays clean");
+        let c = set.corruption(1).expect("torn journal is triaged");
+        assert_eq!(c.reason, CorruptionReason::TruncatedPayload);
+        assert!(set.truncated_tail(1));
+    }
+
+    #[test]
+    fn journal_set_open_is_all_or_nothing_and_names_the_bad_path() {
+        let good = temp_path("set-good.journal");
+        drop(Journal::create(&good, b"m").unwrap());
+        let bad = temp_path("set-not-a.journal");
+        std::fs::write(&bad, b"not a journal at all").unwrap();
+        let err = JournalSet::open(&[&good, &bad]).unwrap_err();
+        match err {
+            JournalError::BadMagic { path } => assert_eq!(path, bad),
+            other => panic!("expected BadMagic for {bad:?}, got {other}"),
+        }
     }
 }

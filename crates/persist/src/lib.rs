@@ -80,5 +80,5 @@ pub mod journal;
 pub use codec::{DecodeError, Decoder, Encoder};
 pub use journal::{
     CorruptionReason, Journal, JournalContents, JournalError, JournalIter, JournalReader,
-    TailCorruption,
+    JournalSet, TailCorruption,
 };

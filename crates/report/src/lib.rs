@@ -255,6 +255,85 @@ pub fn corrected_counts_table(title: impl Into<String>, rows: &[CorrectedCounts]
     t
 }
 
+/// One host's contribution to a merged multi-host fleet campaign
+/// (`spe_harness::fleet`, `DESIGN.md` §14): which contiguous job range
+/// of the `files × shards_per_file` space it owned, how many journal
+/// frames its replay streamed, and what its slice produced. The crate
+/// stays harness-independent, so the harness's `HostSummary` is mapped
+/// into this row at the call site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetHostRow {
+    /// Host id within the fleet plan.
+    pub host_id: usize,
+    /// The host journal the slice was replayed from (usually just the
+    /// file name).
+    pub journal: String,
+    /// First job of the host's slice (inclusive).
+    pub jobs_start: usize,
+    /// One past the last job of the host's slice.
+    pub jobs_end: usize,
+    /// Record frames replayed from the host's journal.
+    pub frames: u64,
+    /// Variants the host's slice tested.
+    pub variants_tested: u64,
+    /// Candidate findings the host's slice committed (pre-dedup).
+    pub candidates: usize,
+}
+
+/// Renders merged-fleet provenance — one row per host, plus a totals
+/// row — so a campaign report can always answer "which host produced
+/// what, from which journal".
+///
+/// ```
+/// let rows = vec![spe_report::FleetHostRow {
+///     host_id: 0,
+///     journal: "host-0.journal".into(),
+///     jobs_start: 0,
+///     jobs_end: 12,
+///     frames: 40,
+///     variants_tested: 768,
+///     candidates: 3,
+/// }];
+/// let t = spe_report::fleet_provenance_table("Fleet 0xbeef (1 host)", &rows);
+/// let s = t.render();
+/// assert!(s.contains("host-0.journal"));
+/// assert!(s.contains("[0, 12)"));
+/// assert!(s.contains("total"));
+/// ```
+pub fn fleet_provenance_table(title: impl Into<String>, rows: &[FleetHostRow]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "Host",
+            "Journal",
+            "Jobs",
+            "Frames",
+            "Variants",
+            "Candidates",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.host_id.to_string(),
+            r.journal.clone(),
+            format!("[{}, {})", r.jobs_start, r.jobs_end),
+            r.frames.to_string(),
+            r.variants_tested.to_string(),
+            r.candidates.to_string(),
+        ]);
+    }
+    let jobs: usize = rows.iter().map(|r| r.jobs_end - r.jobs_start).sum();
+    t.row(&[
+        "total".to_string(),
+        format!("{} journals", rows.len()),
+        format!("{jobs} jobs"),
+        rows.iter().map(|r| r.frames).sum::<u64>().to_string(),
+        rows.iter().map(|r| r.variants_tested).sum::<u64>().to_string(),
+        rows.iter().map(|r| r.candidates).sum::<usize>().to_string(),
+    ]);
+    t
+}
+
 /// The per-file variant-count buckets of Figure 8:
 /// `[1,10), [10,10^2), …, [10^9,10^10), >= 10^10`.
 pub fn figure8_buckets() -> Vec<String> {
@@ -344,6 +423,36 @@ mod tests {
         assert!(s.contains("Dup (fingerprint)"));
         assert!(s.contains("4.2x"));
         assert!(s.contains("clang-sim"));
+    }
+
+    #[test]
+    fn fleet_provenance_totals_row() {
+        let rows = vec![
+            FleetHostRow {
+                host_id: 0,
+                journal: "host-0.journal".into(),
+                jobs_start: 0,
+                jobs_end: 7,
+                frames: 21,
+                variants_tested: 448,
+                candidates: 2,
+            },
+            FleetHostRow {
+                host_id: 1,
+                journal: "host-1.journal".into(),
+                jobs_start: 7,
+                jobs_end: 14,
+                frames: 22,
+                variants_tested: 448,
+                candidates: 1,
+            },
+        ];
+        let s = fleet_provenance_table("Fleet", &rows).render();
+        assert!(s.contains("[7, 14)"));
+        assert!(s.contains("2 journals"));
+        assert!(s.contains("14 jobs"));
+        assert!(s.contains("43"));
+        assert!(s.contains("896"));
     }
 
     #[test]

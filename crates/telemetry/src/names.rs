@@ -122,6 +122,19 @@ pub const ORACLE_PIPELINE_MEMO_HITS: &str = "oracle_cache.pipeline_memo_hits";
 /// Counter: pass-pipeline executions the memo could not serve.
 pub const ORACLE_PIPELINE_MEMO_MISSES: &str = "oracle_cache.pipeline_memo_misses";
 
+/// Span: one host's slice of a multi-host fleet campaign
+/// (`spe_harness::fleet::run_host`), detail `fleet=<id> host=<h>/<n>`.
+pub const FLEET_HOST_RUN: &str = "fleet.host_run";
+/// Span: one deterministic merge of host journals into a campaign
+/// report (`spe_harness::fleet::merge_journals`).
+pub const FLEET_MERGE: &str = "fleet.merge";
+/// Gauge: jobs of the (file × shard) space owned by the running host.
+pub const FLEET_JOBS_OWNED: &str = "fleet.jobs_owned";
+/// Counter: host journals folded by completed merges.
+pub const FLEET_HOSTS_MERGED: &str = "fleet.hosts_merged";
+/// Counter: record frames streamed by completed merges.
+pub const FLEET_FRAMES_MERGED: &str = "fleet.frames_merged";
+
 /// Counter: per-configuration observations by the in-process backend.
 pub const SIMCC_OBSERVATIONS: &str = "simcc.observations";
 /// Counter: variants rejected by the in-process backend's parser.
